@@ -1,0 +1,372 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus ablation benchmarks for the design decisions called out in
+// DESIGN.md §4 and micro-benchmarks for the hot kernels.
+//
+// The experiment benchmarks run the corresponding driver at a reduced
+// scale (Quick configuration with the two small datasets unless the
+// artifact requires others) so `go test -bench=.` completes in minutes;
+// run `cmd/inkbench` for full-scale renderings.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/lightgcn"
+	"repro/internal/tensor"
+)
+
+func benchConfig() experiments.Config {
+	c := experiments.Quick()
+	c.Datasets = []dataset.Spec{dataset.PubMed, dataset.Cora}
+	c.ExtraScale = 8
+	c.Scenarios = 1
+	c.GINLayers = 3
+	return c
+}
+
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Render() == "" {
+			b.Fatal("empty rendering")
+		}
+	}
+}
+
+// BenchmarkFig1a regenerates Fig. 1a (theoretical affected area vs ΔG, k).
+func BenchmarkFig1a(b *testing.B) { runExperiment(b, "fig1a", benchConfig()) }
+
+// BenchmarkFig1b regenerates Fig. 1b (real vs theoretical affected area).
+func BenchmarkFig1b(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ExtraScale = 32 // fig1b always uses Cora, Yelp and papers100M
+	runExperiment(b, "fig1b", cfg)
+}
+
+// BenchmarkTable4 regenerates Table IV (inference-time comparison of the
+// five methods over three models).
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", benchConfig()) }
+
+// BenchmarkTable5 regenerates Table V (visited-node and memory-cost
+// reductions vs the k-hop baseline).
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5", benchConfig()) }
+
+// BenchmarkTable6 regenerates Table VI (component ablation).
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", benchConfig()) }
+
+// BenchmarkFig7 regenerates Fig. 7 (speedup vs ΔG).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7", benchConfig()) }
+
+// BenchmarkFig8 regenerates Fig. 8 (evolvable-condition distribution).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8", benchConfig()) }
+
+// BenchmarkFig9 regenerates Fig. 9 (GraphNorm approximation fidelity).
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ExtraScale = 16
+	runExperiment(b, "fig9", cfg)
+}
+
+// BenchmarkFig9Trained regenerates the trained-model variant of Fig. 9
+// (test accuracy of exact vs frozen GraphNorm on an SBM task).
+func BenchmarkFig9Trained(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ExtraScale = 16
+	runExperiment(b, "fig9t", cfg)
+}
+
+// BenchmarkMemCost regenerates the Sec. III-E checkpoint-memory analysis.
+func BenchmarkMemCost(b *testing.B) { runExperiment(b, "memcost", benchConfig()) }
+
+// BenchmarkReplay measures a full C-TDG timeline replay (latency
+// percentiles of InkStream vs k-hop).
+func BenchmarkReplay(b *testing.B) { runExperiment(b, "replay", benchConfig()) }
+
+// BenchmarkHotspot measures the uniform-vs-hub-biased churn contrast.
+func BenchmarkHotspot(b *testing.B) { runExperiment(b, "hotspot", benchConfig()) }
+
+// BenchmarkScaling measures the fixed-ΔG growing-graph sweep (speedup
+// grows with graph size).
+func BenchmarkScaling(b *testing.B) {
+	cfg := benchConfig()
+	cfg.ExtraScale = 16
+	runExperiment(b, "scaling", cfg)
+}
+
+// BenchmarkParallelScaling contrasts the engine's intra-layer parallel
+// apply against sequential processing at different worker counts.
+func BenchmarkParallelScaling(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMean, 1000) // mean: dense work, no pruning
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			old := tensor.Parallelism
+			tensor.Parallelism = workers
+			defer func() { tensor.Parallelism = old }()
+			w.inkUpdate(b, inkstream.Options{})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Method micro-benchmarks: one engine update per iteration on a mid-size
+// power-law graph, reported per model and per method.
+
+type benchWorld struct {
+	g     *graph.Graph
+	x     *tensor.Matrix
+	model *gnn.Model
+	state *gnn.State
+	delta graph.Delta
+}
+
+func newBenchWorld(b *testing.B, kind string, agg gnn.AggKind, deltaG int) *benchWorld {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g := dataset.GenerateRMAT(rng, 5000, 25000, dataset.DefaultRMAT)
+	x := tensor.RandMatrix(rng, 5000, 32, 1)
+	var model *gnn.Model
+	switch kind {
+	case "gcn":
+		model = gnn.NewGCN(rng, 32, 32, gnn.NewAggregator(agg))
+	case "sage":
+		model = gnn.NewSAGE(rng, 32, 32, gnn.NewAggregator(agg))
+	case "gin":
+		model = gnn.NewGIN(rng, 32, 16, 3, gnn.NewAggregator(agg))
+	default:
+		b.Fatalf("unknown model %q", kind)
+	}
+	state, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchWorld{g: g, x: x, model: model, state: state,
+		delta: graph.RandomDelta(rng, g, deltaG)}
+}
+
+func (w *benchWorld) inkUpdate(b *testing.B, opts inkstream.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		eng, err := inkstream.NewFromState(w.model, w.g.Clone(), w.state.Clone(), nil, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := eng.Update(append(graph.Delta(nil), w.delta...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInkStreamUpdate measures one ΔG=100 incremental update per
+// model and aggregation class.
+func BenchmarkInkStreamUpdate(b *testing.B) {
+	for _, kind := range []string{"gcn", "sage", "gin"} {
+		for _, agg := range []gnn.AggKind{gnn.AggMax, gnn.AggMean} {
+			b.Run(fmt.Sprintf("%s/%s", kind, agg), func(b *testing.B) {
+				newBenchWorld(b, kind, agg, 100).inkUpdate(b, inkstream.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkKHopUpdate measures the k-hop baseline on the same workload.
+func BenchmarkKHopUpdate(b *testing.B) {
+	for _, kind := range []string{"gcn", "sage", "gin"} {
+		b.Run(kind, func(b *testing.B) {
+			w := newBenchWorld(b, kind, gnn.AggMax, 100)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				kh, err := baseline.NewKHop(w.model, w.g.Clone(), w.x, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := kh.Update(append(graph.Delta(nil), w.delta...)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFullInference measures the PyG-style full-graph baseline.
+func BenchmarkFullInference(b *testing.B) {
+	for _, kind := range []string{"gcn", "sage", "gin"} {
+		b.Run(kind, func(b *testing.B) {
+			w := newBenchWorld(b, kind, gnn.AggMax, 100)
+			f := &baseline.Full{Model: w.model}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Infer(w.g, w.x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFusedInference measures the Graphiler stand-in.
+func BenchmarkFusedInference(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMax, 100)
+	f := &baseline.Fused{Model: w.model}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Infer(w.g, w.x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §4): each toggles one design decision.
+
+// BenchmarkAblationPruning: inter-layer pruned propagation on/off
+// (Table VI's component 2).
+func BenchmarkAblationPruning(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMax, 100)
+	b.Run("on", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{}) })
+	b.Run("off", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{DisablePruning: true}) })
+}
+
+// BenchmarkAblationGrouping: event grouping vs per-event processing
+// (Fig. 4's motivation).
+func BenchmarkAblationGrouping(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMax, 100)
+	b.Run("on", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{Sequential: true}) })
+	b.Run("off", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{DisableGrouping: true}) })
+}
+
+// BenchmarkAblationPayloadSharing: shared event payloads vs per-event
+// copies (Sec. II-B's metadata/payload separation).
+func BenchmarkAblationPayloadSharing(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMax, 1000)
+	b.Run("shared", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{}) })
+	b.Run("copied", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{CopyPayloads: true}) })
+}
+
+// BenchmarkAblationParallel: parallel vs sequential intra-layer apply.
+func BenchmarkAblationParallel(b *testing.B) {
+	w := newBenchWorld(b, "gcn", gnn.AggMax, 1000)
+	b.Run("parallel", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{}) })
+	b.Run("sequential", func(b *testing.B) { w.inkUpdate(b, inkstream.Options{Sequential: true}) })
+}
+
+// BenchmarkSampledEngineUpdate measures the sampled-neighborhood engine
+// (Sec. II-E sampling support): diffing the bottom-k samples plus the
+// incremental replay.
+func BenchmarkSampledEngineUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	g := dataset.GenerateRMAT(rng, 5000, 50000, dataset.DefaultRMAT) // dense: sampling bites
+	x := tensor.RandMatrix(rng, 5000, 32, 1)
+	model := gnn.NewGCN(rng, 32, 32, gnn.NewAggregator(gnn.AggMax))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := inkstream.NewSampled(model, g.Clone(), x, 10, 7, nil, inkstream.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta := graph.RandomDelta(rng, s.FullGraph(), 100)
+		b.StartTimer()
+		if err := s.Update(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLightGCNUpdate measures the weighted-sum incremental engine.
+func BenchmarkLightGCNUpdate(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	g := dataset.GenerateRMAT(rng, 5000, 25000, dataset.DefaultRMAT)
+	x := tensor.RandMatrix(rng, 5000, 32, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := lightgcn.New(g.Clone(), x, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta := graph.RandomDelta(rng, e.Graph(), 100)
+		b.StartTimer()
+		if err := e.Update(delta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBootstrap measures the initial full inference +
+// checkpointing (what persistence lets a restart skip).
+func BenchmarkEngineBootstrap(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	g := dataset.GenerateRMAT(rng, 5000, 25000, dataset.DefaultRMAT)
+	x := tensor.RandMatrix(rng, 5000, 32, 1)
+	model := gnn.NewGCN(rng, 32, 32, gnn.NewAggregator(gnn.AggMax))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inkstream.New(model, g.Clone(), x, nil, inkstream.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Kernel micro-benchmarks.
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{64, 256} {
+		x := tensor.RandMatrix(rng, n, n, 1)
+		y := tensor.RandMatrix(rng, n, n, 1)
+		z := tensor.NewMatrix(n, n)
+		b.Run(fmt.Sprintf("seq/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(z, x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("par/%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.ParallelMatMul(z, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	msgs := make([]tensor.Vector, 64)
+	for i := range msgs {
+		msgs[i] = tensor.RandVector(rng, 64, 1)
+	}
+	dst := tensor.NewVector(64)
+	for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggMean, gnn.AggSum} {
+		agg := gnn.NewAggregator(kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gnn.Aggregate(agg, dst, msgs)
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Command inkbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	inkbench [flags] <experiment>...
+//	inkbench -list
+//	inkbench all
+//
+// Experiments: fig1a fig1b table4 table5 table6 fig7 fig8 fig9 memcost.
+// Output is a text rendering of the corresponding paper artifact; see
+// EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "inkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("inkbench", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		quick     = fs.Bool("quick", false, "use the heavily scaled-down quick configuration")
+		seed      = fs.Int64("seed", 1, "random seed for graphs, weights and scenarios")
+		scale     = fs.Int("scale", 1, "extra down-scaling factor applied to every dataset")
+		hidden    = fs.Int("hidden", 32, "hidden-state dimension for GCN/GraphSAGE (GIN uses half)")
+		scenarios = fs.Int("scenarios", 3, "max graph-changing scenarios averaged per point")
+		ginLayers = fs.Int("gin-layers", 5, "GIN depth")
+		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
+		outPath   = fs.String("out", "", "also append renderings to this file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: inkbench [flags] <experiment>...\n\nexperiments: %s, all\n\nflags:\n",
+			strings.Join(experiments.Names(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no experiment given")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.Names()
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	cfg.ExtraScale *= *scale
+	cfg.Hidden = *hidden
+	cfg.Scenarios = *scenarios
+	cfg.GINLayers = *ginLayers
+	if *datasets != "" {
+		cfg.Datasets = nil
+		for _, name := range strings.Split(*datasets, ",") {
+			spec, err := dataset.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cfg.Datasets = append(cfg.Datasets, spec)
+		}
+	}
+
+	var sink *os.File
+	if *outPath != "" {
+		var err error
+		sink, err = os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		rendering := res.Render()
+		fmt.Println(rendering)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		if sink != nil {
+			if _, err := fmt.Fprintf(sink, "%s\n", rendering); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+// Command inkserve runs a long-lived InkStream inference service over a
+// generated or saved dataset snapshot: clients stream edge and feature
+// updates and read always-fresh embeddings over HTTP.
+//
+// Usage:
+//
+//	inkserve -dataset PM -addr :8080
+//	inkserve -file snapshot.inks -model sage -agg mean
+//	inkserve -bundle engine.inkb            # resume a persisted engine
+//	inkserve -dataset PM -save-bundle e.inkb -addr :8080
+//
+// With -save-bundle the bootstrapped engine is persisted before serving,
+// so a later -bundle start skips the initial full-graph inference. See
+// internal/server for the HTTP API.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/scheduler"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "inkserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	handler, addr, err := buildServer(args)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s", addr)
+	return http.ListenAndServe(addr, handler)
+}
+
+// buildServer parses flags and constructs the HTTP handler; split from run
+// so tests can exercise the full setup path without binding a port.
+func buildServer(args []string) (http.Handler, string, error) {
+	fs := flag.NewFlagSet("inkserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		name       = fs.String("dataset", "", "dataset profile to generate")
+		file       = fs.String("file", "", "saved snapshot to load (alternative to -dataset)")
+		bundle     = fs.String("bundle", "", "persisted engine bundle to resume (alternative to -dataset/-file)")
+		saveBundle = fs.String("save-bundle", "", "persist the bootstrapped engine to this path before serving")
+		scale      = fs.Int64("scale", 8, "extra down-scaling with -dataset")
+		seed       = fs.Int64("seed", 1, "generator seed")
+		modelName  = fs.String("model", "gcn", "model: gcn, sage or gin")
+		aggName    = fs.String("agg", "max", "aggregation: max, min, mean or sum")
+		hidden     = fs.Int("hidden", 32, "hidden dimension")
+		batch      = fs.Int("batch", 0, "micro-batch size for /v1/submit (0 disables batching)")
+		staleness  = fs.Duration("staleness", 0, "max staleness before a pending /v1/submit batch flushes")
+		walPath    = fs.String("wal", "", "write-ahead log path: applied batches are journaled, and with -bundle the log is replayed on startup")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	var counters metrics.Counters
+	var engine *inkstream.Engine
+
+	if *bundle != "" {
+		g, model, state, err := persist.LoadBundleFile(*bundle)
+		if err != nil {
+			return nil, "", err
+		}
+		engine, err = inkstream.NewFromState(model, g, state, &counters, inkstream.Options{})
+		if err != nil {
+			return nil, "", err
+		}
+		log.Printf("resumed %s over %d nodes / %d edges from %s",
+			model.Name, g.NumNodes(), g.NumEdges(), *bundle)
+		if *walPath != "" {
+			if batches, torn, err := persist.ReadWAL(*walPath); err == nil {
+				if err := persist.Replay(engine, batches); err != nil {
+					return nil, "", err
+				}
+				log.Printf("replayed %d WAL batches (torn tail: %v)", len(batches), torn)
+			} else if !os.IsNotExist(err) {
+				return nil, "", err
+			}
+		}
+	} else {
+		var (
+			g     *graph.Graph
+			feats *dataset.Features
+			err   error
+		)
+		switch {
+		case *file != "":
+			g, feats, err = dataset.LoadFile(*file)
+			if err != nil {
+				return nil, "", err
+			}
+		case *name != "":
+			spec, err := dataset.ByName(*name)
+			if err != nil {
+				return nil, "", err
+			}
+			spec.Scale *= *scale
+			g, feats = dataset.Generate(spec, *seed)
+			log.Printf("generated %s", spec)
+		default:
+			fs.Usage()
+			return nil, "", fmt.Errorf("one of -dataset, -file or -bundle is required")
+		}
+
+		agg, err := gnn.ParseAggKind(*aggName)
+		if err != nil {
+			return nil, "", err
+		}
+		rng := rand.New(rand.NewSource(*seed + 100))
+		var model *gnn.Model
+		switch *modelName {
+		case "gcn":
+			model = gnn.NewGCN(rng, feats.Dim(), *hidden, gnn.NewAggregator(agg))
+		case "sage":
+			model = gnn.NewSAGE(rng, feats.Dim(), *hidden, gnn.NewAggregator(agg))
+		case "gin":
+			model = gnn.NewGIN(rng, feats.Dim(), *hidden, 5, gnn.NewAggregator(agg))
+		default:
+			return nil, "", fmt.Errorf("unknown model %q (want gcn, sage or gin)", *modelName)
+		}
+
+		log.Printf("bootstrapping %s over %d nodes / %d edges …", model.Name, g.NumNodes(), g.NumEdges())
+		var d metrics.Stopwatch
+		d.Start()
+		engine, err = inkstream.New(model, g, feats.X, &counters, inkstream.Options{})
+		d.Stop()
+		if err != nil {
+			return nil, "", err
+		}
+		log.Printf("initial inference done in %v", d.Elapsed())
+		if *saveBundle != "" {
+			if err := persist.SaveBundleFile(*saveBundle, engine.Graph(), model, engine.State()); err != nil {
+				return nil, "", err
+			}
+			log.Printf("persisted engine bundle to %s", *saveBundle)
+			if *walPath != "" {
+				// A fresh bundle supersedes any previous journal.
+				if err := os.Truncate(*walPath, 0); err != nil && !os.IsNotExist(err) {
+					return nil, "", err
+				}
+			}
+		}
+	}
+	srv := server.New(engine, &counters)
+	if *walPath != "" {
+		wal, err := persist.OpenWAL(*walPath)
+		if err != nil {
+			return nil, "", err
+		}
+		srv.SetJournal(wal)
+		log.Printf("journaling updates to %s", *walPath)
+	}
+	if *batch > 0 || *staleness > 0 {
+		if err := srv.EnableBatching(scheduler.Policy{MaxBatch: *batch, MaxStaleness: *staleness}); err != nil {
+			return nil, "", err
+		}
+		interval := *staleness
+		if interval <= 0 {
+			interval = time.Second
+		}
+		go func() {
+			for range time.Tick(interval / 2) {
+				if err := srv.Tick(); err != nil {
+					log.Printf("inkserve: batch flush: %v", err)
+				}
+			}
+		}()
+		log.Printf("micro-batching enabled: batch=%d staleness=%v", *batch, *staleness)
+	}
+	return srv.Handler(), *addr, nil
+}

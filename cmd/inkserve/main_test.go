@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestBuildServerFromDataset(t *testing.T) {
+	h, addr, err := buildServer([]string{"-dataset", "PM", "-scale", "32", "-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":0" {
+		t.Errorf("addr = %q", addr)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if code := get(t, ts, "/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz status %d", code)
+	}
+	if code := get(t, ts, "/v1/embedding?node=1"); code != http.StatusOK {
+		t.Errorf("embedding status %d", code)
+	}
+}
+
+func TestBuildServerBundleRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "engine.inkb")
+	// Bootstrap + persist.
+	if _, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32", "-save-bundle", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Resume.
+	h, _, err := buildServer([]string{"-bundle", path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if code := get(t, ts, "/v1/stats"); code != http.StatusOK {
+		t.Errorf("stats status %d", code)
+	}
+}
+
+// Crash-recovery workflow: serve with -save-bundle and -wal, apply updates
+// over HTTP, then rebuild from -bundle + -wal; the journaled updates must
+// survive into the recovered service.
+func TestBuildServerWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "engine.inkb")
+	wal := filepath.Join(dir, "updates.wal")
+
+	h, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32", "-save-bundle", bundle, "-wal", wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	// Insert an edge between two low-degree nodes via the API.
+	resp, err := http.Post(ts.URL+"/v1/update", "application/json",
+		strings.NewReader(`{"changes":[{"u":300,"v":301,"insert":true},{"u":302,"v":303,"insert":true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d: %s", resp.StatusCode, body)
+	}
+	edgesBefore := statsEdges(t, ts.URL)
+	ts.Close() // "crash"
+
+	// Recover.
+	h2, _, err := buildServer([]string{"-bundle", bundle, "-wal", wal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	// The journaled edges survived into the recovered service.
+	if got := statsEdges(t, ts2.URL); got != edgesBefore {
+		t.Fatalf("recovered edges = %d, want %d", got, edgesBefore)
+	}
+	vresp, err := http.Post(ts2.URL+"/v1/verify", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vbody, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if vresp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered engine failed verify: %s", vbody)
+	}
+}
+
+func statsEdges(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Edges int `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Edges
+}
+
+func TestBuildServerErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no source
+		{"-dataset", "nope"},               // unknown dataset
+		{"-dataset", "PM", "-model", "x"},  // unknown model
+		{"-dataset", "PM", "-agg", "medi"}, // unknown aggregation
+		{"-bundle", "/does/not/exist"},     // missing bundle
+		{"-file", "/does/not/exist"},       // missing snapshot
+	}
+	for i, args := range cases {
+		if _, _, err := buildServer(args); err == nil {
+			t.Errorf("case %d: accepted %v", i, args)
+		}
+	}
+}

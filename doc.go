@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "InkStream:
+// Instantaneous GNN Inference on Dynamic Graphs via Incremental Update"
+// (IPDPS 2025). See README.md for the architecture overview, DESIGN.md for
+// the system inventory and per-experiment index, and EXPERIMENTS.md for
+// the paper-vs-measured record. The root-level benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,179 @@
+// Package baseline implements the comparison methods of the paper's
+// evaluation (Sec. III-A):
+//
+//   - Full: the PyG-style baseline — full-graph inference from scratch on
+//     every timestamp, optionally through a GraphSAGE neighbor sampler.
+//   - KHop: the DyGNN-style baseline — recompute only the theoretical
+//     k-hop affected area, fetching its in-neighborhood closure (up to
+//     2k-hop data) from the input features, with no reuse of previous
+//     results.
+//   - Fused: the Graphiler stand-in — an optimised full-graph engine with
+//     preallocated buffers and a memory cap that reports OOM on large
+//     graphs and deep models, as the paper observes for Graphiler.
+//
+// All baselines share the instrumentation of package metrics so Table V's
+// reductions can be computed against them.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Full is the PyG (+SAGE sampler) baseline: every timestamp it reruns
+// inference over the whole (optionally sampled) graph.
+type Full struct {
+	Model *gnn.Model
+	// Fanout > 0 enables the neighbor sampler with that per-layer fanout
+	// (the paper uses 10).
+	Fanout int
+	// Seed drives the sampler.
+	Seed int64
+	C    *metrics.Counters
+}
+
+// Infer runs one timestamp: sample (if configured) then full inference.
+func (f *Full) Infer(g *graph.Graph, x *tensor.Matrix) (*gnn.State, error) {
+	target := g
+	if f.Fanout > 0 {
+		rng := rand.New(rand.NewSource(f.Seed))
+		target = gnn.SampleNeighbors(rng, g, f.Fanout)
+	}
+	return gnn.Infer(f.Model, target, x, f.C)
+}
+
+// ErrOOM is returned by Fused when the estimated working set exceeds the
+// configured memory limit, mirroring Graphiler's out-of-memory failures on
+// large graphs and deep models.
+var ErrOOM = errors.New("baseline: fused engine out of memory")
+
+// Fused is the Graphiler stand-in: a single-allocation, fully parallel
+// full-graph engine. It reuses two ping-pong buffers across layers instead
+// of checkpointing, so it is the fastest method on graphs that fit — and
+// the only one that can refuse to run.
+type Fused struct {
+	Model *gnn.Model
+	// MemLimit caps the estimated working set in bytes; 0 means unlimited.
+	MemLimit int64
+	C        *metrics.Counters
+
+	bufA, bufB *tensor.Matrix
+}
+
+// WorkingSetBytes estimates the engine's peak allocation for n nodes and m
+// arcs: the two widest ping-pong buffers, the per-layer message buffer and
+// the CSR snapshot.
+func (f *Fused) WorkingSetBytes(n, m int) int64 {
+	maxDim := f.Model.InDim()
+	for _, l := range f.Model.Layers {
+		if d := l.MsgDim(); d > maxDim {
+			maxDim = d
+		}
+		if d := l.OutDim(); d > maxDim {
+			maxDim = d
+		}
+	}
+	// Graphiler materialises the whole message-passing dataflow graph, so
+	// the estimate scales with depth and with the number of per-layer
+	// tensor intermediates: two activation buffers and one message buffer
+	// for every model, plus the extra transform intermediates of
+	// self-dependent updates (GraphSAGE runs two weight matrices per
+	// layer, GIN an MLP). CSR adds 8B row pointers + 4B columns.
+	bufs := int64(3)
+	for _, l := range f.Model.Layers {
+		if l.SelfDependent() {
+			bufs++ // own-message transform intermediate
+			break
+		}
+	}
+	if bufs > 3 && f.Model.Name == "GraphSAGE" {
+		bufs++ // W1·α and W2·h are materialised separately
+	}
+	buffers := bufs * int64(n) * int64(maxDim) * 4 * int64(f.Model.NumLayers())
+	csr := int64(8*(n+1)) + int64(4*m)
+	return buffers + csr
+}
+
+// Infer runs one timestamp over the whole graph, returning only the final
+// embeddings (no checkpoints). It returns ErrOOM when the working set
+// exceeds MemLimit.
+func (f *Fused) Infer(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix, error) {
+	n := g.NumNodes()
+	if ws := f.WorkingSetBytes(n, g.NumArcs()); f.MemLimit > 0 && ws > f.MemLimit {
+		return nil, fmt.Errorf("%w: working set %s exceeds limit %s",
+			ErrOOM, metrics.HumanBytes(ws), metrics.HumanBytes(f.MemLimit))
+	}
+	maxDim := f.Model.InDim()
+	for _, l := range f.Model.Layers {
+		if d := l.MsgDim(); d > maxDim {
+			maxDim = d
+		}
+		if d := l.OutDim(); d > maxDim {
+			maxDim = d
+		}
+	}
+	if f.bufA == nil || f.bufA.Rows < n || f.bufA.Cols < maxDim {
+		f.bufA = tensor.NewMatrix(n, maxDim)
+		f.bufB = tensor.NewMatrix(n, maxDim)
+	}
+	csr := graph.FreezeIn(g)
+
+	// h lives in bufA[:, :dim], messages in bufB; the update writes the
+	// next h back into bufA.
+	h := viewCols(f.bufA, n, f.Model.InDim())
+	for u := 0; u < n; u++ {
+		copy(h.Row(u), x.Row(u))
+	}
+	for li, layer := range f.Model.Layers {
+		m := viewCols(f.bufB, n, layer.MsgDim())
+		tensor.ParallelFor(n, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				layer.ComputeMessage(m.Row(u), h.Row(u))
+				gnn.CountMessage(f.C, layer)
+			}
+		})
+		hNext := viewCols(f.bufA, n, layer.OutDim())
+		agg := layer.Agg()
+		tensor.ParallelFor(n, func(lo, hi int) {
+			alpha := make(tensor.Vector, layer.MsgDim())
+			for u := lo; u < hi; u++ {
+				agg.Identity(alpha)
+				nbrs := csr.Neighbors(graph.NodeID(u))
+				for _, v := range nbrs {
+					agg.Merge(alpha, m.Row(int(v)))
+				}
+				agg.Finalize(alpha, len(nbrs))
+				f.C.FetchVec(layer.MsgDim() * len(nbrs))
+				f.C.AddFLOPs(int64(layer.MsgDim() * len(nbrs)))
+				// Fused: update immediately, no α materialisation; the own
+				// message lives in the other ping-pong buffer, so no alias
+				// with the destination row.
+				layer.Update(hNext.Row(u), alpha, m.Row(u))
+				gnn.CountUpdate(f.C, layer)
+				f.C.VisitNode()
+			}
+		})
+		if norm := f.Model.Norm(li); norm != nil {
+			norm.Apply(hNext)
+		}
+		h = hNext
+	}
+	out := tensor.NewMatrix(n, f.Model.OutDim())
+	for u := 0; u < n; u++ {
+		copy(out.Row(u), h.Row(u))
+	}
+	return out, nil
+}
+
+// viewCols returns an n×cols matrix sharing storage with the left columns
+// of buf. Rows are re-strided, so this only works because we always resize
+// through viewCols with the same n.
+func viewCols(buf *tensor.Matrix, n, cols int) *tensor.Matrix {
+	return &tensor.Matrix{Rows: n, Cols: cols, Data: buf.Data[:n*cols]}
+}

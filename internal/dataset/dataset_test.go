@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSpecsScaledStats(t *testing.T) {
+	for _, s := range All {
+		if s.Nodes() <= 0 || s.Edges() <= 0 || s.FeatLen() < 4 {
+			t.Errorf("%s: degenerate scaled stats %d/%d/%d", s.Name, s.Nodes(), s.Edges(), s.FeatLen())
+		}
+		if s.AvgDegree() < 1 {
+			t.Errorf("%s: average degree %.2f < 1", s.Name, s.AvgDegree())
+		}
+	}
+}
+
+func TestSpecsPreserveDensityOrdering(t *testing.T) {
+	// The paper's density ordering: Yelp >> Products, Reddit > Cora > PubMed.
+	deg := map[string]float64{}
+	for _, s := range All {
+		deg[s.Abbrev] = s.AvgDegree()
+	}
+	if !(deg["YP"] > deg["RD"] && deg["RD"] > deg["CA"] && deg["CA"] > deg["PM"]) {
+		t.Errorf("density ordering broken: %v", deg)
+	}
+	if !(deg["YP"] > deg["PD"]) {
+		t.Errorf("Yelp must stay denser than products: %v", deg)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, q := range []string{"Cora", "CA"} {
+		s, err := ByName(q)
+		if err != nil || s.Name != "Cora" {
+			t.Errorf("ByName(%q) = %v, %v", q, s.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestGenerateRMATBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GenerateRMAT(rng, 1000, 5000, DefaultRMAT)
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	if g.NumEdges() != 5000 {
+		t.Fatalf("edges=%d", g.NumEdges())
+	}
+	if !g.Undirected {
+		t.Error("RMAT graphs must be undirected")
+	}
+}
+
+func TestGenerateRMATPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GenerateRMAT(rng, 2048, 10000, DefaultRMAT)
+	degs := make([]int, g.NumNodes())
+	for u := range degs {
+		degs[u] = g.InDegree(graph.NodeID(u))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	avg := float64(2*g.NumEdges()) / float64(g.NumNodes())
+	// Heavy tail: the hottest node should dwarf the average degree.
+	if float64(degs[0]) < 5*avg {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f", degs[0], avg)
+	}
+}
+
+func TestGenerateRMATSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Ask for more edges than a 4-node graph can hold.
+	g := GenerateRMAT(rng, 4, 100, DefaultRMAT)
+	if g.NumEdges() > 6 {
+		t.Fatalf("edges=%d exceeds complete graph", g.NumEdges())
+	}
+}
+
+func TestGenerateBipartite(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const users, items = 200, 50
+	g := GenerateBipartite(rng, users, items, 800, 6)
+	if g.NumNodes() != users+items {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 800 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Bipartiteness: every edge crosses the user/item boundary.
+	for _, e := range g.Edges() {
+		uSide := int(e[0]) < users
+		vSide := int(e[1]) < users
+		if uSide == vSide {
+			t.Fatalf("edge %v does not cross the partition", e)
+		}
+	}
+	// Popularity skew: the hottest item dwarfs the average item degree.
+	maxDeg, total := 0, 0
+	for it := users; it < users+items; it++ {
+		d := g.InDegree(graph.NodeID(it))
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if float64(maxDeg) < 2*float64(total)/float64(items) {
+		t.Errorf("popularity not skewed: max %d vs avg %.1f", maxDeg, float64(total)/float64(items))
+	}
+	// Saturation clamps instead of spinning.
+	tiny := GenerateBipartite(rng, 2, 2, 100, 1)
+	if tiny.NumEdges() > 4 {
+		t.Errorf("saturated bipartite graph has %d edges", tiny.NumEdges())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := PubMed
+	g1, f1 := Generate(spec, 7)
+	g2, f2 := Generate(spec, 7)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("edge counts differ for same seed")
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("edge sets differ for same seed")
+		}
+	}
+	if !f1.X.Equal(f2.X) {
+		t.Fatal("features differ for same seed")
+	}
+}
+
+func TestFeaturesShape(t *testing.T) {
+	f := NewFeatures(rand.New(rand.NewSource(1)), 10, 6)
+	if f.Dim() != 6 || f.X.Rows != 10 {
+		t.Fatalf("shape %dx%d", f.X.Rows, f.X.Cols)
+	}
+	if len(f.Row(3)) != 6 {
+		t.Error("Row view wrong length")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GenerateRMAT(rng, 64, 200, DefaultRMAT)
+	f := NewFeatures(rng, 64, 8)
+	var buf bytes.Buffer
+	if err := Save(&buf, g, f); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	g2, f2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed counts")
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+	if !f2.X.Equal(f.X) {
+		t.Error("features changed in round trip")
+	}
+}
+
+func TestSaveRejectsDirected(t *testing.T) {
+	g := graph.New(4)
+	f := NewFeatures(rand.New(rand.NewSource(1)), 4, 2)
+	if err := Save(&bytes.Buffer{}, g, f); err == nil {
+		t.Error("directed graph must be rejected")
+	}
+}
+
+func TestSaveRejectsShapeMismatch(t *testing.T) {
+	g := graph.NewUndirected(4)
+	f := NewFeatures(rand.New(rand.NewSource(1)), 5, 2)
+	if err := Save(&bytes.Buffer{}, g, f); err == nil {
+		t.Error("feature/node mismatch must be rejected")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("INKS\x02\x00\x00\x00"), // truncated header
+	}
+	for i, c := range cases {
+		if _, _, err := Load(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.inks")
+	rng := rand.New(rand.NewSource(5))
+	g := GenerateRMAT(rng, 32, 80, DefaultRMAT)
+	f := NewFeatures(rng, 32, 4)
+	if err := SaveFile(path, g, f); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	g2, f2, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() || !f2.X.Equal(f.X) {
+		t.Error("file round trip mismatch")
+	}
+}

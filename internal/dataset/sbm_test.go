@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSBMBasic(t *testing.T) {
+	params := SBMParams{
+		Nodes: 120, Classes: 3, AvgDegree: 6, Homophily: 0.8,
+		FeatLen: 6, NoiseStd: 0.5,
+	}
+	sbm, err := GenerateSBM(params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sbm.G.NumNodes() != 120 || sbm.X.Rows != 120 || len(sbm.Labels) != 120 {
+		t.Fatal("shape")
+	}
+	for _, l := range sbm.Labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// Target edge count reached (graph far from saturation).
+	want := int(params.AvgDegree * 120 / 2)
+	if sbm.G.NumEdges() != want {
+		t.Errorf("edges = %d, want %d", sbm.G.NumEdges(), want)
+	}
+	train, test := sbm.Split(0.75, 1)
+	if len(train) != 90 || len(train)+len(test) != 120 {
+		t.Errorf("split sizes %d/%d", len(train), len(test))
+	}
+}
+
+func TestSBMParamsValidate(t *testing.T) {
+	good := SBMParams{Nodes: 10, Classes: 2, AvgDegree: 2, Homophily: 0.5, FeatLen: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := good
+	bad.Homophily = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero homophily accepted")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := Cora.String()
+	for _, want := range []string{"Cora", "CA", "scale"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Spec.String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFeatLenFloor(t *testing.T) {
+	s := Cora
+	s.FeatScale = 1 << 20 // absurd downscale
+	if got := s.FeatLen(); got != 4 {
+		t.Errorf("FeatLen floor = %d, want 4", got)
+	}
+}

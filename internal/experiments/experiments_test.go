@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// tiny returns a configuration small enough for unit tests: only the two
+// small datasets, aggressively scaled.
+func tiny() Config {
+	c := Quick()
+	c.Datasets = []dataset.Spec{dataset.PubMed, dataset.Cora}
+	c.ExtraScale = 32
+	c.Scenarios = 1
+	c.GINLayers = 3
+	return c
+}
+
+func TestConfigNormalize(t *testing.T) {
+	var c Config
+	n := c.normalize()
+	if len(n.Datasets) != len(dataset.All) || n.ExtraScale < 1 || n.Hidden < 4 || n.Scenarios < 1 {
+		t.Errorf("normalize produced %+v", n)
+	}
+}
+
+func TestScenariosForSchedule(t *testing.T) {
+	c := Default()
+	c.Scenarios = 1000
+	if c.scenariosFor(1) != 100 || c.scenariosFor(100) != 10 || c.scenariosFor(10000) != 1 {
+		t.Error("paper scenario schedule broken")
+	}
+	c.Scenarios = 3
+	if c.scenariosFor(1) != 3 {
+		t.Error("cap not applied")
+	}
+}
+
+func TestDeltaGFor(t *testing.T) {
+	if deltaGFor(modelGCN) != 100 || deltaGFor(modelSAGE) != 100 || deltaGFor(modelGIN) != 1 {
+		t.Error("paper ΔG defaults wrong")
+	}
+}
+
+func TestFig1a(t *testing.T) {
+	r, err := Fig1a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ratio) != 5 {
+		t.Fatalf("want 5 k-rows, got %d", len(r.Ratio))
+	}
+	// Affected area grows with both k and ΔG (where measurable).
+	if r.Ratio[0][0] > r.Ratio[4][0] {
+		t.Errorf("area must grow with k: k=1 %g > k=5 %g", r.Ratio[0][0], r.Ratio[4][0])
+	}
+	for _, row := range r.Ratio {
+		for _, v := range row {
+			if v > 1.0 {
+				t.Errorf("ratio above 1: %g", v)
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Fig. 1a") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	cfg := tiny()
+	cfg.ExtraScale = 64 // Yelp and papers100M appear here; shrink hard
+	r, err := Fig1b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Datasets) != 3 {
+		t.Fatalf("want 3 datasets, got %d", len(r.Datasets))
+	}
+	best := 1.0
+	for i, v := range r.Ratio {
+		if v < 0 || v > 1 {
+			t.Errorf("%s: real/theoretical ratio %g out of range", r.Datasets[i], v)
+		}
+		if v < best {
+			best = v
+		}
+	}
+	// The headline claim — the real affected area is a small fraction of
+	// the theoretical one — shows partially at toy scale (ΔG=100 on a
+	// few-hundred-node graph saturates small datasets): at least one
+	// profile must show clear selectivity.
+	if best > 0.8 {
+		t.Errorf("no dataset showed selectivity: best ratio %g", best)
+	}
+	_ = r.Render()
+}
+
+func TestTable4ShapeAndOrdering(t *testing.T) {
+	r, err := Table4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Blocks) != 3 {
+		t.Fatalf("want 3 model blocks, got %d", len(r.Blocks))
+	}
+	for _, b := range r.Blocks {
+		if len(b.Rows) != 2 {
+			t.Fatalf("%s: want 2 dataset rows, got %d", b.Model, len(b.Rows))
+		}
+		for _, row := range b.Rows {
+			if row.Full <= 0 || row.KHop <= 0 || row.InkM <= 0 || row.InkA <= 0 {
+				t.Errorf("%s/%s: missing timings %+v", b.Model, row.Dataset, row)
+			}
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"GCN", "GraphSAGE", "GIN", "InkStream-m", "k-hop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// At a moderate (non-toy) scale the paper's headline ordering must hold:
+// InkStream is faster than full-graph inference. Event-machinery overhead
+// can dominate only on toy graphs.
+func TestTable4OrderingModerateScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale timing test")
+	}
+	cfg := Default()
+	cfg.Datasets = []dataset.Spec{dataset.PubMed}
+	cfg.ExtraScale = 2
+	cfg.Scenarios = 2
+	cfg.GINLayers = 3
+	// Wall-clock ordering assertions are load-sensitive; retry a few times
+	// so transient machine load cannot fail the suite.
+	var lastErr string
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err := Table4(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastErr = ""
+		for _, b := range r.Blocks {
+			row := b.Rows[0]
+			// GCN (no self-dependence, small per-layer compute) shows the
+			// cleanest margin; it must win outright. The self-dependent
+			// models' margin shrinks at this reduced scale with ΔG=100, so
+			// only require them not to lose by more than 2x (at full scale
+			// they win — see EXPERIMENTS.md).
+			slack := time.Duration(1)
+			if b.Model != "GCN" {
+				slack = 2
+			}
+			if row.InkM > slack*row.Full {
+				lastErr = b.Model + ": InkStream-m slower than full inference beyond slack"
+			}
+			if row.InkA > slack*row.Full {
+				lastErr = b.Model + ": InkStream-a slower than full inference beyond slack"
+			}
+		}
+		if lastErr == "" {
+			return
+		}
+	}
+	t.Error(lastErr)
+}
+
+func TestTable5Reductions(t *testing.T) {
+	r, err := Table5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.RMCInkM <= 0 || row.RMCInkM > 1 {
+			t.Errorf("%s: RMC InkStream-m %g out of (0,1]", row.Dataset, row.RMCInkM)
+		}
+		if row.RMCInkA <= 0 || row.RMCInkA > 1 {
+			t.Errorf("%s: RMC InkStream-a %g out of (0,1]", row.Dataset, row.RMCInkA)
+		}
+		if row.RNVVInkM < 0 || row.RNVVInkM > 1 {
+			t.Errorf("%s: RNVV %g out of [0,1]", row.Dataset, row.RNVVInkM)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestTable6AblationOrdering(t *testing.T) {
+	r, err := Table6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.KHop <= 0 || row.Comp1 <= 0 || row.Full <= 0 {
+			t.Errorf("%s: missing timings %+v", row.Dataset, row)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig7Shape(t *testing.T) {
+	r, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Datasets) != 2 || len(r.SpeedupM) != 2 {
+		t.Fatalf("shape: %d datasets", len(r.Datasets))
+	}
+	for di := range r.Datasets {
+		for gi := range r.DeltaGs {
+			m, a := r.SpeedupM[di][gi], r.SpeedupA[di][gi]
+			if m == 0 || a == 0 {
+				t.Errorf("%s dG=%d: zero speedup recorded", r.Datasets[di], r.DeltaGs[gi])
+			}
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig8Distributions(t *testing.T) {
+	r, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 { // 3 models × 2 datasets
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		sum := row.Pruned + row.NoReset + row.Covered + row.Exposed + row.SelfOnly
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s/%s: fractions sum to %g", row.Model, row.Dataset, sum)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig9AgreementHigh(t *testing.T) {
+	cfg := tiny()
+	r, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) != 8 {
+			t.Fatalf("%s: points = %d", s.Dataset, len(s.Points))
+		}
+		for _, p := range s.Points {
+			// The paper's operating regime is <1–2% graph change between
+			// retraining phases; at toy scale, statistic sampling noise
+			// grows with |change|, so assert tightly only there.
+			if p.ChangePct >= -2 && p.ChangePct <= 2 && p.Agreement < 0.9 {
+				t.Errorf("%s %+d%%: agreement %g below 90%% — approximation broken",
+					s.Dataset, p.ChangePct, p.Agreement)
+			}
+			if p.Agreement < 0.5 {
+				t.Errorf("%s %+d%%: agreement %g collapsed", s.Dataset, p.ChangePct, p.Agreement)
+			}
+		}
+	}
+	_ = r.Render()
+}
+
+func TestMemCost(t *testing.T) {
+	r, err := MemCost(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.CheckpointH <= 0 || row.RatioH <= 0 {
+			t.Errorf("%s: degenerate memory numbers %+v", row.Dataset, row)
+		}
+		if row.CheckpointH32 < row.CheckpointH && r.Hidden <= 32 {
+			t.Errorf("%s: width-32 checkpoint smaller than width-%d", row.Dataset, r.Hidden)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestFig9TrainedSmallDelta(t *testing.T) {
+	cfg := tiny()
+	cfg.ExtraScale = 16
+	r, err := Fig9Trained(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if p.AccExact < 0.5 || p.AccFrozen < 0.5 {
+				t.Errorf("%s %+d%%: model failed to learn (exact %.2f frozen %.2f)",
+					s.Dataset, p.ChangePct, p.AccExact, p.AccFrozen)
+			}
+			d := p.AccExact - p.AccFrozen
+			if d < 0 {
+				d = -d
+			}
+			// The paper's claim in its operating regime (<= 2% churn):
+			// negligible accuracy difference. Allow slack at toy scale.
+			if p.ChangePct >= -2 && p.ChangePct <= 2 && d > 0.05 {
+				t.Errorf("%s %+d%%: accuracy delta %.3f too large", s.Dataset, p.ChangePct, d)
+			}
+		}
+	}
+	_ = r.Render()
+}
+
+func TestReplayLatencies(t *testing.T) {
+	cfg := tiny()
+	r, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Batches == 0 {
+			t.Errorf("%s: no batches replayed", row.Dataset)
+		}
+		if row.InkP50 <= 0 || row.KHopP50 <= 0 {
+			t.Errorf("%s: missing latencies %+v", row.Dataset, row)
+		}
+		if row.InkP50 > row.InkMax || row.KHopP50 > row.KHopMax {
+			t.Errorf("%s: percentile ordering broken", row.Dataset)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestHotspotChurn(t *testing.T) {
+	cfg := tiny()
+	cfg.ExtraScale = 8 // need real hubs for the contrast
+	r, err := Hotspot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Uniform <= 0 || row.Hot <= 0 {
+			t.Errorf("%s: missing timings", row.Dataset)
+		}
+		// Hub-biased churn must enlarge the theoretical affected area.
+		if row.AffectedHot < row.AffectedUniform {
+			t.Errorf("%s: hot churn affected %d < uniform %d",
+				row.Dataset, row.AffectedHot, row.AffectedUniform)
+		}
+	}
+	_ = r.Render()
+}
+
+func TestScalingSweep(t *testing.T) {
+	cfg := tiny()
+	cfg.ExtraScale = 16 // sweep runs at 16x..1x of this
+	r, err := Scaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Nodes <= r.Rows[i-1].Nodes {
+			t.Errorf("sweep not growing: %d then %d nodes", r.Rows[i-1].Nodes, r.Rows[i].Nodes)
+		}
+	}
+	// The paper's trend: on the largest graph of the sweep, InkStream's
+	// speedup over k-hop must exceed its speedup on the smallest.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if last.Speedup <= first.Speedup {
+		t.Errorf("speedup did not grow with graph size: %.1f -> %.1f", first.Speedup, last.Speedup)
+	}
+	_ = r.Render()
+}
+
+func TestRunnerRegistry(t *testing.T) {
+	if len(Names()) != 13 {
+		t.Errorf("registry size = %d", len(Names()))
+	}
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Error("unknown id accepted")
+	}
+	res, err := Run("memcost", tiny())
+	if err != nil || res.Render() == "" {
+		t.Errorf("Run(memcost): %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+)
+
+// Fig1aResult reproduces Fig. 1a: the ratio of the theoretically affected
+// area (the (k−1)-hop out-neighborhood of the changed-edge endpoints for a
+// k-layer GNN) to the full graph, on the Cora profile, as ΔG and the model
+// depth k vary.
+type Fig1aResult struct {
+	Dataset string
+	DeltaGs []int
+	Ks      []int
+	// Ratio[ki][di] = affected/|V| for Ks[ki], DeltaGs[di].
+	Ratio [][]float64
+}
+
+// Fig1a runs the experiment.
+func Fig1a(cfg Config) (*Fig1aResult, error) {
+	cfg = cfg.normalize()
+	inst := cfg.build(dataset.Cora)
+	res := &Fig1aResult{
+		Dataset: inst.Spec.Name,
+		DeltaGs: []int{1, 10, 100, 1000, 10000},
+		Ks:      []int{1, 2, 3, 4, 5},
+	}
+	n := inst.G.NumNodes()
+	maxDeltaG := inst.G.NumEdges() / 2
+	for _, k := range res.Ks {
+		row := make([]float64, len(res.DeltaGs))
+		for di, dg := range res.DeltaGs {
+			if dg > maxDeltaG {
+				row[di] = -1 // not measurable at this scale
+				continue
+			}
+			var sum float64
+			scen := cfg.scenariosFor(dg)
+			deltas := cfg.scenarioDeltas(inst.G, dg, scen)
+			for _, d := range deltas {
+				g2 := inst.G.Clone()
+				if err := d.Apply(g2); err != nil {
+					return nil, err
+				}
+				aff := graph.KHopOut(g2, d.Touched(g2.Undirected), k-1)
+				sum += float64(aff.Size()) / float64(n)
+			}
+			row[di] = sum / float64(scen)
+		}
+		res.Ratio = append(res.Ratio, row)
+	}
+	return res, nil
+}
+
+func (r *Fig1aResult) Render() string {
+	t := newTable(fmt.Sprintf("Fig. 1a — theoretical affected area / full graph (%s)", r.Dataset),
+		append([]string{"k \\ dG"}, intHeaders(r.DeltaGs)...)...)
+	for ki, k := range r.Ks {
+		cells := []string{fmt.Sprintf("k=%d", k)}
+		for di := range r.DeltaGs {
+			if r.Ratio[ki][di] < 0 {
+				cells = append(cells, "n/a")
+			} else {
+				cells = append(cells, fmtPct(r.Ratio[ki][di]))
+			}
+		}
+		t.addRow(cells...)
+	}
+	return t.String()
+}
+
+func intHeaders(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("dG=%d", x)
+	}
+	return out
+}
+
+// Fig1bResult reproduces Fig. 1b: the ratio of really affected nodes (any
+// layer's cached embedding changed bit-wise under the max aggregator) to
+// the theoretically affected area, at ΔG=100 on the Cora, Yelp and
+// papers100M profiles with a 2-layer GCN.
+type Fig1bResult struct {
+	Datasets []string
+	Ratio    []float64 // real / theoretical, averaged over scenarios
+}
+
+// Fig1b runs the experiment.
+func Fig1b(cfg Config) (*Fig1bResult, error) {
+	cfg = cfg.normalize()
+	res := &Fig1bResult{}
+	for _, spec := range []dataset.Spec{dataset.Cora, dataset.Yelp, dataset.Papers100M} {
+		inst := cfg.build(spec)
+		model := cfg.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		base, err := gnn.Infer(model, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		scen := cfg.scenariosFor(100)
+		deltas := cfg.scenarioDeltas(inst.G, 100, scen)
+		var sum float64
+		for _, d := range deltas {
+			eng, err := inkstream.NewFromState(model, inst.G.Clone(), base.Clone(), nil, inkstream.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.Update(append(graph.Delta(nil), d...)); err != nil {
+				return nil, err
+			}
+			theo := graph.KHopOut(eng.Graph(), d.Touched(eng.Graph().Undirected), model.NumLayers()-1)
+			real := 0
+			st := eng.State()
+			for u := 0; u < st.NumNodes(); u++ {
+				for l := 1; l < len(st.H); l++ {
+					if !st.H[l].Row(u).Equal(base.H[l].Row(u)) {
+						real++
+						break
+					}
+				}
+			}
+			if theo.Size() > 0 {
+				sum += float64(real) / float64(theo.Size())
+			}
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Ratio = append(res.Ratio, sum/float64(scen))
+	}
+	return res, nil
+}
+
+func (r *Fig1bResult) Render() string {
+	t := newTable("Fig. 1b — real affected nodes / theoretical affected area (GCN k=2, max, dG=100)",
+		"dataset", "real/theoretical")
+	for i, d := range r.Datasets {
+		t.addRow(d, fmtPct(r.Ratio[i]))
+	}
+	return t.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gnn"
+	"repro/internal/inkstream"
+)
+
+// Fig7Result reproduces Fig. 7: the speedup of InkStream-m and InkStream-a
+// over the k-hop baseline on the GCN model as the number of changed edges
+// ΔG grows (1, 10, 100, 1k, 10k). The paper's shape: speedup decreases as
+// ΔG increases.
+type Fig7Result struct {
+	DeltaGs  []int
+	Datasets []string
+	// SpeedupM[di][gi] and SpeedupA[di][gi] are speedups vs k-hop for
+	// Datasets[di] at DeltaGs[gi]; -1 marks ΔG values not measurable at
+	// the configured scale.
+	SpeedupM [][]float64
+	SpeedupA [][]float64
+}
+
+// Fig7 runs the experiment.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.normalize()
+	res := &Fig7Result{DeltaGs: []int{1, 10, 100, 1000, 10000}}
+	for _, spec := range cfg.Datasets {
+		inst := cfg.build(spec)
+		maxModel := cfg.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		meanModel := cfg.model(modelGCN, inst.X.Cols, gnn.AggMean)
+		baseMax, err := gnn.Infer(maxModel, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseMean, err := gnn.Infer(meanModel, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		rowM := make([]float64, len(res.DeltaGs))
+		rowA := make([]float64, len(res.DeltaGs))
+		for gi, dg := range res.DeltaGs {
+			if dg > inst.G.NumEdges()/2 {
+				rowM[gi], rowA[gi] = -1, -1
+				continue
+			}
+			scen := cfg.scenariosFor(dg)
+			deltas := cfg.scenarioDeltas(inst.G, dg, scen)
+			var khop, inkM, inkA []measured
+			for _, d := range deltas {
+				m, _, err := runKHop(maxModel, inst, d)
+				if err != nil {
+					return nil, err
+				}
+				khop = append(khop, m)
+				m, err = runInk(maxModel, inst, baseMax, d, inkstream.Options{})
+				if err != nil {
+					return nil, err
+				}
+				inkM = append(inkM, m)
+				m, err = runInk(meanModel, inst, baseMean, d, inkstream.Options{})
+				if err != nil {
+					return nil, err
+				}
+				inkA = append(inkA, m)
+			}
+			k, im, ia := avg(khop), avg(inkM), avg(inkA)
+			if im.Time > 0 {
+				rowM[gi] = float64(k.Time) / float64(im.Time)
+			}
+			if ia.Time > 0 {
+				rowA[gi] = float64(k.Time) / float64(ia.Time)
+			}
+		}
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.SpeedupM = append(res.SpeedupM, rowM)
+		res.SpeedupA = append(res.SpeedupA, rowA)
+	}
+	return res, nil
+}
+
+func (r *Fig7Result) Render() string {
+	out := ""
+	for vi, name := range []string{"InkStream-m", "InkStream-a"} {
+		data := r.SpeedupM
+		if vi == 1 {
+			data = r.SpeedupA
+		}
+		t := newTable(fmt.Sprintf("Fig. 7 — %s speedup vs k-hop (GCN)", name),
+			append([]string{"dataset"}, intHeaders(r.DeltaGs)...)...)
+		for di, ds := range r.Datasets {
+			cells := []string{ds}
+			for gi := range r.DeltaGs {
+				if data[di][gi] < 0 {
+					cells = append(cells, "n/a")
+				} else {
+					cells = append(cells, fmt.Sprintf("%.1fx", data[di][gi]))
+				}
+			}
+			t.addRow(cells...)
+		}
+		out += t.String() + "\n"
+	}
+	return out
+}

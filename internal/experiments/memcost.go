@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/gnn"
+	"repro/internal/metrics"
+)
+
+// MemCostRow reports the additional memory InkStream keeps for one dataset
+// (Sec. III-E): the two per-layer checkpoints (m and α) relative to the
+// dataset size (features + edges), at two hidden-state widths.
+type MemCostRow struct {
+	Dataset       string
+	DatasetBytes  int64
+	CheckpointH   int64   // checkpoint bytes at cfg.Hidden
+	RatioH        float64 // CheckpointH / DatasetBytes
+	CheckpointH32 int64   // checkpoint bytes at width 32 (paper's small case)
+	RatioH32      float64
+}
+
+// MemCostResult reproduces the Sec. III-E analysis (GCN).
+type MemCostResult struct {
+	Hidden int
+	Rows   []MemCostRow
+}
+
+// MemCost runs the analysis.
+func MemCost(cfg Config) (*MemCostResult, error) {
+	cfg = cfg.normalize()
+	res := &MemCostResult{Hidden: cfg.Hidden}
+	for _, spec := range cfg.Datasets {
+		inst := cfg.build(spec)
+		dataBytes := int64(4*len(inst.X.Data)) + int64(8*inst.G.NumArcs())
+		row := MemCostRow{Dataset: spec.Name, DatasetBytes: dataBytes}
+
+		model := cfg.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		st := gnn.NewState(model, inst.G.NumNodes())
+		row.CheckpointH = st.MemoryBytes()
+		row.RatioH = float64(row.CheckpointH) / float64(dataBytes)
+
+		small := cfg
+		small.Hidden = 32
+		model32 := small.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		st32 := gnn.NewState(model32, inst.G.NumNodes())
+		row.CheckpointH32 = st32.MemoryBytes()
+		row.RatioH32 = float64(row.CheckpointH32) / float64(dataBytes)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *MemCostResult) Render() string {
+	t := newTable("Sec. III-E — additional memory for saved checkpoints (GCN)",
+		"dataset", "dataset size", "ckpt(hidden)", "ratio", "ckpt(h=32)", "ratio")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset,
+			metrics.HumanBytes(row.DatasetBytes),
+			metrics.HumanBytes(row.CheckpointH), fmtRatio(row.RatioH),
+			metrics.HumanBytes(row.CheckpointH32), fmtRatio(row.RatioH32))
+	}
+	return t.String()
+}
+
+func fmtRatio(f float64) string {
+	switch {
+	case f >= 10:
+		return fmt.Sprintf("%.0fx", f)
+	case f >= 1:
+		return fmt.Sprintf("%.2fx", f)
+	default:
+		return fmt.Sprintf("%.3fx", f)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/inkstream"
+)
+
+// ScalingRow is one graph size of the scaling sweep.
+type ScalingRow struct {
+	Nodes, Edges  int
+	KHop, Ink     time.Duration
+	FullInference time.Duration
+	Speedup       float64 // k-hop / InkStream
+}
+
+// ScalingResult isolates the paper's cross-dataset trend on a single
+// profile: with ΔG fixed, the affected area stays roughly constant while
+// the graph grows, so full inference scales with the graph, the k-hop
+// baseline with the (2k-hop) fetch volume, and InkStream stays nearly
+// flat — its speedup grows with graph size. The sweep runs the Reddit
+// profile at successively smaller down-scale factors.
+type ScalingResult struct {
+	DeltaG int
+	Rows   []ScalingRow
+}
+
+// Scaling runs the sweep (GCN, max aggregation, ΔG=10).
+func Scaling(cfg Config) (*ScalingResult, error) {
+	cfg = cfg.normalize()
+	const deltaG = 10
+	res := &ScalingResult{DeltaG: deltaG}
+	// From 16x the configured scale down to it, halving each step.
+	for mult := 16; mult >= 1; mult /= 2 {
+		c := cfg
+		c.ExtraScale = cfg.ExtraScale * mult
+		inst := c.build(dataset.Reddit)
+		model := c.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		base, err := gnn.Infer(model, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		scen := cfg.scenariosFor(deltaG)
+		deltas := cfg.scenarioDeltas(inst.G, deltaG, scen)
+		var kh, ink, full []measured
+		for si, d := range deltas {
+			m, _, err := runKHop(model, inst, d)
+			if err != nil {
+				return nil, err
+			}
+			kh = append(kh, m)
+			m, err = runInk(model, inst, base, d, inkstream.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ink = append(ink, m)
+			m, err = runFull(model, inst, d, 0, cfg.Seed+int64(si))
+			if err != nil {
+				return nil, err
+			}
+			full = append(full, m)
+		}
+		row := ScalingRow{
+			Nodes: inst.G.NumNodes(), Edges: inst.G.NumEdges(),
+			KHop: avg(kh).Time, Ink: avg(ink).Time, FullInference: avg(full).Time,
+		}
+		if row.Ink > 0 {
+			row.Speedup = float64(row.KHop) / float64(row.Ink)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *ScalingResult) Render() string {
+	t := newTable("Scaling — fixed dG, growing graph (Reddit profile, GCN, max)",
+		"nodes", "edges", "full", "k-hop", "inkstream", "speedup vs k-hop")
+	for _, row := range r.Rows {
+		t.addRow(strconv.Itoa(row.Nodes), strconv.Itoa(row.Edges),
+			fmtDur(row.FullInference), fmtDur(row.KHop), fmtDur(row.Ink),
+			fmt.Sprintf("%.1fx", row.Speedup))
+	}
+	return t.String()
+}

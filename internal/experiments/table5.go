@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"repro/internal/gnn"
+	"repro/internal/inkstream"
+)
+
+// Table5Row holds the reductions of one dataset: RNVV (reduction in the
+// number of visited nodes, InkStream-m only — InkStream-a never prunes)
+// and RMC (reduction in memory cost) for both variants, all relative to
+// the k-hop baseline.
+type Table5Row struct {
+	Dataset  string
+	RNVVInkM float64
+	RMCInkM  float64
+	RMCInkA  float64
+}
+
+// Table5Result reproduces Table V (GCN, ΔG=100).
+type Table5Result struct {
+	Rows []Table5Row
+}
+
+// Table5 runs the experiment.
+func Table5(cfg Config) (*Table5Result, error) {
+	cfg = cfg.normalize()
+	res := &Table5Result{}
+	for _, spec := range cfg.Datasets {
+		inst := cfg.build(spec)
+		maxModel := cfg.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		meanModel := cfg.model(modelGCN, inst.X.Cols, gnn.AggMean)
+		baseMax, err := gnn.Infer(maxModel, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseMean, err := gnn.Infer(meanModel, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		scen := cfg.scenariosFor(100)
+		deltas := cfg.scenarioDeltas(inst.G, 100, scen)
+		var khop, inkM, inkA []measured
+		for _, d := range deltas {
+			m, _, err := runKHop(maxModel, inst, d)
+			if err != nil {
+				return nil, err
+			}
+			khop = append(khop, m)
+			m, err = runInk(maxModel, inst, baseMax, d, inkstream.Options{})
+			if err != nil {
+				return nil, err
+			}
+			inkM = append(inkM, m)
+			m, err = runInk(meanModel, inst, baseMean, d, inkstream.Options{})
+			if err != nil {
+				return nil, err
+			}
+			inkA = append(inkA, m)
+		}
+		k, im, ia := avg(khop), avg(inkM), avg(inkA)
+		row := Table5Row{Dataset: spec.Name}
+		if k.Snap.NodesVisited > 0 {
+			row.RNVVInkM = 1 - float64(im.Snap.NodesVisited)/float64(k.Snap.NodesVisited)
+		}
+		kb := k.Snap.BytesFetched + k.Snap.BytesWritten
+		if kb > 0 {
+			row.RMCInkM = 1 - float64(im.Snap.BytesFetched+im.Snap.BytesWritten)/float64(kb)
+			row.RMCInkA = 1 - float64(ia.Snap.BytesFetched+ia.Snap.BytesWritten)/float64(kb)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (r *Table5Result) Render() string {
+	t := newTable("Table V — reductions vs k-hop (GCN, dG=100)",
+		"dataset", "RNVV InkStream-m", "RMC InkStream-m", "RMC InkStream-a")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset, fmtPct(row.RNVVInkM), fmtPct(row.RMCInkM), fmtPct(row.RMCInkA))
+	}
+	return t.String()
+}

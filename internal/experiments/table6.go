@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/gnn"
+	"repro/internal/inkstream"
+)
+
+// Table6Row is the ablation of one dataset: k-hop vs intra-layer-only
+// InkStream-m (component 1) vs the full method (components 1 & 2).
+type Table6Row struct {
+	Dataset string
+	KHop    time.Duration
+	Comp1   time.Duration // intra-layer incremental update only
+	Full    time.Duration // + inter-layer pruned propagation
+}
+
+// Table6Result reproduces Table VI (GCN, ΔG=100, InkStream-m).
+type Table6Result struct {
+	Rows []Table6Row
+}
+
+// Table6 runs the ablation.
+func Table6(cfg Config) (*Table6Result, error) {
+	cfg = cfg.normalize()
+	res := &Table6Result{}
+	for _, spec := range cfg.Datasets {
+		inst := cfg.build(spec)
+		model := cfg.model(modelGCN, inst.X.Cols, gnn.AggMax)
+		base, err := gnn.Infer(model, inst.G, inst.X, nil)
+		if err != nil {
+			return nil, err
+		}
+		scen := cfg.scenariosFor(100)
+		deltas := cfg.scenarioDeltas(inst.G, 100, scen)
+		var khop, comp1, full []measured
+		for _, d := range deltas {
+			m, _, err := runKHop(model, inst, d)
+			if err != nil {
+				return nil, err
+			}
+			khop = append(khop, m)
+			m, err = runInk(model, inst, base, d, inkstream.Options{DisablePruning: true})
+			if err != nil {
+				return nil, err
+			}
+			comp1 = append(comp1, m)
+			m, err = runInk(model, inst, base, d, inkstream.Options{})
+			if err != nil {
+				return nil, err
+			}
+			full = append(full, m)
+		}
+		res.Rows = append(res.Rows, Table6Row{
+			Dataset: spec.Name,
+			KHop:    avg(khop).Time,
+			Comp1:   avg(comp1).Time,
+			Full:    avg(full).Time,
+		})
+	}
+	return res, nil
+}
+
+func (r *Table6Result) Render() string {
+	t := newTable("Table VI — component ablation for InkStream-m (GCN, dG=100)",
+		"dataset", "k-hop", "InkStream-m (1)", "InkStream-m (1&2)")
+	for _, row := range r.Rows {
+		t.addRow(row.Dataset,
+			fmtDur(row.KHop)+" (1x)",
+			fmtDur(row.Comp1)+" ("+fmtSpeedup(row.KHop, row.Comp1)+")",
+			fmtDur(row.Full)+" ("+fmtSpeedup(row.KHop, row.Full)+")")
+	}
+	return t.String()
+}

@@ -1,0 +1,180 @@
+// Package gnn implements the message-passing GNN inference framework the
+// paper targets: the combination/aggregation layer abstraction of Fig. 3,
+// the four supported aggregation functions, the GCN, GraphSAGE and GIN
+// benchmark models, GraphNorm (exact and frozen approximation, Sec. II-E),
+// neighbor sampling, and a parallel full-graph inference engine that
+// checkpoints the per-layer messages m_l and aggregated neighborhoods α_l
+// that InkStream's incremental engine consumes.
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// AggKind enumerates the supported aggregation functions 𝒜.
+type AggKind int
+
+const (
+	AggMax AggKind = iota
+	AggMin
+	AggMean
+	AggSum
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggMean:
+		return "mean"
+	case AggSum:
+		return "sum"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// ParseAggKind converts a name ("max", "min", "mean", "sum") to an AggKind.
+func ParseAggKind(s string) (AggKind, error) {
+	switch s {
+	case "max":
+		return AggMax, nil
+	case "min":
+		return AggMin, nil
+	case "mean":
+		return AggMean, nil
+	case "sum":
+		return AggSum, nil
+	}
+	return 0, fmt.Errorf("gnn: unknown aggregation %q", s)
+}
+
+// Aggregator is one of the paper's supported aggregation functions. The
+// taxonomy follows Sec. I/II: max and min are *monotonic* (selective,
+// partially reversible), mean and sum are *accumulative* (fully
+// reversible).
+type Aggregator interface {
+	Kind() AggKind
+	// Monotonic reports whether the function is selective (max/min),
+	// enabling InkStream's affected-area pruning but requiring the
+	// reset-condition analysis for incremental updates.
+	Monotonic() bool
+	// Reversible reports whether a neighbor's old contribution can be
+	// cancelled from an aggregate — the paper's expressiveness condition
+	// (2). All four built-in functions are at least partially reversible;
+	// an irreversible function (e.g. std) cannot be served incrementally
+	// and is rejected by the engine.
+	Reversible() bool
+	// Identity writes the aggregation identity into dst: -Inf for max,
+	// +Inf for min, 0 for mean/sum. Channels still holding the identity
+	// after aggregation over an empty neighborhood are defined to be 0
+	// (see Finalize).
+	Identity(dst tensor.Vector)
+	// Merge folds one message into the running aggregate:
+	// dst = 𝒜(dst, m).
+	Merge(dst, m tensor.Vector)
+	// Finalize converts the merged aggregate over deg messages into the
+	// final α: mean divides by deg; max/min/sum are identity except that
+	// deg == 0 yields the zero vector for every kind.
+	Finalize(dst tensor.Vector, deg int)
+}
+
+// NewAggregator returns the aggregator implementation for kind.
+func NewAggregator(kind AggKind) Aggregator {
+	switch kind {
+	case AggMax:
+		return maxAgg{}
+	case AggMin:
+		return minAgg{}
+	case AggMean:
+		return meanAgg{}
+	case AggSum:
+		return sumAgg{}
+	}
+	panic(fmt.Sprintf("gnn: bad AggKind %d", int(kind)))
+}
+
+type maxAgg struct{}
+
+func (maxAgg) Kind() AggKind    { return AggMax }
+func (maxAgg) Reversible() bool { return true }
+func (maxAgg) Monotonic() bool  { return true }
+func (maxAgg) Identity(dst tensor.Vector) {
+	for i := range dst {
+		dst[i] = -tensor.Inf32
+	}
+}
+func (maxAgg) Merge(dst, m tensor.Vector) { tensor.EltMax(dst, dst, m) }
+func (maxAgg) Finalize(dst tensor.Vector, deg int) {
+	if deg == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+}
+
+type minAgg struct{}
+
+func (minAgg) Kind() AggKind    { return AggMin }
+func (minAgg) Reversible() bool { return true }
+func (minAgg) Monotonic() bool  { return true }
+func (minAgg) Identity(dst tensor.Vector) {
+	for i := range dst {
+		dst[i] = tensor.Inf32
+	}
+}
+func (minAgg) Merge(dst, m tensor.Vector) { tensor.EltMin(dst, dst, m) }
+func (minAgg) Finalize(dst tensor.Vector, deg int) {
+	if deg == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+}
+
+type sumAgg struct{}
+
+func (sumAgg) Kind() AggKind    { return AggSum }
+func (sumAgg) Reversible() bool { return true }
+func (sumAgg) Monotonic() bool  { return false }
+func (sumAgg) Identity(dst tensor.Vector) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+func (sumAgg) Merge(dst, m tensor.Vector)          { tensor.Add(dst, dst, m) }
+func (sumAgg) Finalize(dst tensor.Vector, deg int) {}
+
+type meanAgg struct{}
+
+func (meanAgg) Kind() AggKind    { return AggMean }
+func (meanAgg) Reversible() bool { return true }
+func (meanAgg) Monotonic() bool  { return false }
+func (meanAgg) Identity(dst tensor.Vector) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+func (meanAgg) Merge(dst, m tensor.Vector) { tensor.Add(dst, dst, m) }
+func (meanAgg) Finalize(dst tensor.Vector, deg int) {
+	if deg == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	tensor.Scale(dst, 1/float32(deg), dst)
+}
+
+// Aggregate computes α = Finalize(Merge over msgs) into dst. msgs is the
+// list of neighbor messages; dst must have the message dimension.
+func Aggregate(a Aggregator, dst tensor.Vector, msgs []tensor.Vector) {
+	a.Identity(dst)
+	for _, m := range msgs {
+		a.Merge(dst, m)
+	}
+	a.Finalize(dst, len(msgs))
+}

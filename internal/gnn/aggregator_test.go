@@ -1,0 +1,203 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestAggKindString(t *testing.T) {
+	for kind, want := range map[AggKind]string{AggMax: "max", AggMin: "min", AggMean: "mean", AggSum: "sum"} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q", int(kind), kind.String())
+		}
+		parsed, err := ParseAggKind(want)
+		if err != nil || parsed != kind {
+			t.Errorf("ParseAggKind(%q) = %v, %v", want, parsed, err)
+		}
+	}
+	if _, err := ParseAggKind("median"); err == nil {
+		t.Error("unsupported aggregation must be rejected")
+	}
+}
+
+func TestAggregatorTaxonomy(t *testing.T) {
+	for _, kind := range []AggKind{AggMax, AggMin} {
+		if !NewAggregator(kind).Monotonic() {
+			t.Errorf("%v must be monotonic", kind)
+		}
+	}
+	for _, kind := range []AggKind{AggMean, AggSum} {
+		if NewAggregator(kind).Monotonic() {
+			t.Errorf("%v must be accumulative", kind)
+		}
+	}
+}
+
+func TestAggregateKnownValues(t *testing.T) {
+	msgs := []tensor.Vector{{1, 5}, {3, 2}, {2, 2}}
+	cases := []struct {
+		kind AggKind
+		want tensor.Vector
+	}{
+		{AggMax, tensor.Vector{3, 5}},
+		{AggMin, tensor.Vector{1, 2}},
+		{AggSum, tensor.Vector{6, 9}},
+		{AggMean, tensor.Vector{2, 3}},
+	}
+	for _, c := range cases {
+		dst := tensor.NewVector(2)
+		Aggregate(NewAggregator(c.kind), dst, msgs)
+		if !dst.Equal(c.want) {
+			t.Errorf("%v: got %v want %v", c.kind, dst, c.want)
+		}
+	}
+}
+
+func TestAggregateEmptyNeighborhoodIsZero(t *testing.T) {
+	for _, kind := range []AggKind{AggMax, AggMin, AggMean, AggSum} {
+		dst := tensor.Vector{9, 9, 9}
+		Aggregate(NewAggregator(kind), dst, nil)
+		if !dst.Equal(tensor.Vector{0, 0, 0}) {
+			t.Errorf("%v over empty neighborhood = %v, want zeros", kind, dst)
+		}
+	}
+}
+
+func TestMeanSingleMessage(t *testing.T) {
+	dst := tensor.NewVector(2)
+	Aggregate(NewAggregator(AggMean), dst, []tensor.Vector{{4, -2}})
+	if !dst.Equal(tensor.Vector{4, -2}) {
+		t.Errorf("mean of one = %v", dst)
+	}
+}
+
+// Property: max/min aggregation is invariant under message permutation and
+// equals the element-wise extremum.
+func TestQuickMonotonicOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(8)
+		msgs := make([]tensor.Vector, n)
+		for i := range msgs {
+			msgs[i] = tensor.RandVector(rng, dim, 10)
+		}
+		for _, kind := range []AggKind{AggMax, AggMin} {
+			a := NewAggregator(kind)
+			fwd := tensor.NewVector(dim)
+			Aggregate(a, fwd, msgs)
+			shuffled := append([]tensor.Vector(nil), msgs...)
+			rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			rev := tensor.NewVector(dim)
+			Aggregate(a, rev, shuffled)
+			if !fwd.Equal(rev) {
+				return false
+			}
+			// Result must be one of the inputs per channel.
+			for c := 0; c < dim; c++ {
+				found := false
+				for _, m := range msgs {
+					if m[c] == fwd[c] {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (reversibility, Sec. II "Expressiveness" condition 2): for
+// accumulative aggregators, removing one message's contribution via the
+// inverse operation recovers aggregation over the remaining set exactly
+// (up to fp tolerance).
+func TestQuickAccumulativeReversible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		n := 2 + rng.Intn(6)
+		msgs := make([]tensor.Vector, n)
+		for i := range msgs {
+			msgs[i] = tensor.RandVector(rng, dim, 5)
+		}
+		drop := rng.Intn(n)
+		rest := make([]tensor.Vector, 0, n-1)
+		for i, m := range msgs {
+			if i != drop {
+				rest = append(rest, m)
+			}
+		}
+		// Sum: y* = y - x.
+		full := tensor.NewVector(dim)
+		Aggregate(NewAggregator(AggSum), full, msgs)
+		tensor.Sub(full, full, msgs[drop])
+		want := tensor.NewVector(dim)
+		Aggregate(NewAggregator(AggSum), want, rest)
+		if !full.ApproxEqual(want, 1e-4) {
+			return false
+		}
+		// Mean: y* = (n·y - x)/(n-1).
+		mfull := tensor.NewVector(dim)
+		Aggregate(NewAggregator(AggMean), mfull, msgs)
+		tensor.Scale(mfull, float32(n), mfull)
+		tensor.Sub(mfull, mfull, msgs[drop])
+		tensor.Scale(mfull, 1/float32(n-1), mfull)
+		mwant := tensor.NewVector(dim)
+		Aggregate(NewAggregator(AggMean), mwant, rest)
+		return mfull.ApproxEqual(mwant, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (partial reversibility of monotonic aggregators): when the
+// removed message does not attain the extremum in any channel, the
+// aggregate is unchanged — the foundation of the "no reset" condition.
+func TestQuickMonotonicPartialReversibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(5)
+		n := 2 + rng.Intn(6)
+		msgs := make([]tensor.Vector, n)
+		for i := range msgs {
+			msgs[i] = tensor.RandVector(rng, dim, 5)
+		}
+		a := NewAggregator(AggMax)
+		full := tensor.NewVector(dim)
+		Aggregate(a, full, msgs)
+		drop := rng.Intn(n)
+		dominated := true
+		for c := 0; c < dim; c++ {
+			if msgs[drop][c] == full[c] {
+				dominated = false
+				break
+			}
+		}
+		if !dominated {
+			return true // vacuous trial
+		}
+		rest := make([]tensor.Vector, 0, n-1)
+		for i, m := range msgs {
+			if i != drop {
+				rest = append(rest, m)
+			}
+		}
+		want := tensor.NewVector(dim)
+		Aggregate(a, want, rest)
+		return want.Equal(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGraphConvShapesAndSelfDependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewGraphConv(rng, 6, 8, NewAggregator(AggSum))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := m.Layers[0]
+	if l.InDim() != 6 || l.MsgDim() != 6 || l.OutDim() != 8 {
+		t.Errorf("dims %d/%d/%d", l.InDim(), l.MsgDim(), l.OutDim())
+	}
+	if !l.SelfDependent() {
+		t.Error("GraphConv must be self-dependent (W1·h term)")
+	}
+	if l.(*GraphConvLayer).Act() != ActReLU {
+		t.Error("first layer activation")
+	}
+}
+
+// Hand-check: identity-ish weights on a 3-node path.
+func TestGraphConvTinyForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := lineGraph(t, 3)
+	layer := NewGraphConvLayer(rng, "gc", 2, 2, NewAggregator(AggSum), ActIdentity)
+	layer.W1 = tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	layer.W2 = tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	layer.B = tensor.NewVector(2)
+	model := &Model{Name: "tiny", Layers: []Layer{layer}}
+	x := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {2, 2}})
+	s, err := Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h'[u] = h[u] + Σ neighbors. Node 1: (0,1) + (1,0)+(2,2) = (3,3).
+	want := tensor.FromRows([][]float32{{1, 1}, {3, 3}, {2, 3}})
+	if !s.Output().Equal(want) {
+		t.Errorf("output %v, want %v", s.Output(), want)
+	}
+}
+
+func TestGraphConvInferenceFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := lineGraph(t, 20)
+	x := tensor.RandMatrix(rng, 20, 6, 1)
+	for _, kind := range []AggKind{AggMax, AggSum} {
+		m := NewGraphConv(rng, 6, 8, NewAggregator(kind))
+		s, err := Infer(m, g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Vector(s.Output().Data).IsFinite() {
+			t.Errorf("%v: non-finite output", kind)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package gnn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// State is the per-layer checkpoint InkStream consumes: for every layer l,
+// the messages m_l and aggregated neighborhoods α_l immediately before and
+// after the aggregation phase (the paper's two checkpoints per layer,
+// Sec. III-E), plus the layer inputs h_l. H[0] is the input feature matrix;
+// H[L] the model output.
+type State struct {
+	H     []*tensor.Matrix // len L+1
+	M     []*tensor.Matrix // len L
+	Alpha []*tensor.Matrix // len L
+}
+
+// NewState allocates a zeroed state for model over n nodes.
+func NewState(model *Model, n int) *State {
+	L := model.NumLayers()
+	s := &State{
+		H:     make([]*tensor.Matrix, L+1),
+		M:     make([]*tensor.Matrix, L),
+		Alpha: make([]*tensor.Matrix, L),
+	}
+	s.H[0] = tensor.NewMatrix(n, model.InDim())
+	for l, layer := range model.Layers {
+		s.M[l] = tensor.NewMatrix(n, layer.MsgDim())
+		s.Alpha[l] = tensor.NewMatrix(n, layer.MsgDim())
+		s.H[l+1] = tensor.NewMatrix(n, layer.OutDim())
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{
+		H:     make([]*tensor.Matrix, len(s.H)),
+		M:     make([]*tensor.Matrix, len(s.M)),
+		Alpha: make([]*tensor.Matrix, len(s.Alpha)),
+	}
+	for i, m := range s.H {
+		c.H[i] = m.Clone()
+	}
+	for i, m := range s.M {
+		c.M[i] = m.Clone()
+	}
+	for i, m := range s.Alpha {
+		c.Alpha[i] = m.Clone()
+	}
+	return c
+}
+
+// NumNodes returns the node count the state was built for.
+func (s *State) NumNodes() int { return s.H[0].Rows }
+
+// Output returns the final embeddings (alias of H[L]).
+func (s *State) Output() *tensor.Matrix { return s.H[len(s.H)-1] }
+
+// MemoryBytes returns the total bytes held by the M and α checkpoints —
+// the additional memory cost analysed in Sec. III-E (H[0] is the input and
+// H[1..L] are derivable, so only the two checkpoints count).
+func (s *State) MemoryBytes() int64 {
+	var b int64
+	for l := range s.M {
+		b += int64(4 * len(s.M[l].Data))
+		b += int64(4 * len(s.Alpha[l].Data))
+	}
+	return b
+}
+
+// Equal reports bit-identical states.
+func (s *State) Equal(o *State) bool {
+	if len(s.H) != len(o.H) {
+		return false
+	}
+	for i := range s.H {
+		if !s.H[i].Equal(o.H[i]) {
+			return false
+		}
+	}
+	for i := range s.M {
+		if !s.M[i].Equal(o.M[i]) || !s.Alpha[i].Equal(o.Alpha[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports element-wise agreement within tol across all
+// checkpoints.
+func (s *State) ApproxEqual(o *State, tol float32) bool {
+	if len(s.H) != len(o.H) {
+		return false
+	}
+	for i := range s.H {
+		if !s.H[i].ApproxEqual(o.H[i], tol) {
+			return false
+		}
+	}
+	for i := range s.M {
+		if !s.M[i].ApproxEqual(o.M[i], tol) || !s.Alpha[i].ApproxEqual(o.Alpha[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// Infer runs full-graph inference of model on g with input features x,
+// producing the checkpointed state. Counters may be nil. This is both the
+// bootstrap for InkStream (the paper's "initial full graph inference") and
+// the core of the PyG-like baseline.
+func Infer(model *Model, g *graph.Graph, x *tensor.Matrix, c *metrics.Counters) (*State, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if x.Rows != n || x.Cols != model.InDim() {
+		return nil, fmt.Errorf("gnn: features %dx%d for %d nodes, model InDim %d",
+			x.Rows, x.Cols, n, model.InDim())
+	}
+	s := NewState(model, n)
+	copy(s.H[0].Data, x.Data)
+	csr := graph.FreezeIn(g)
+	for l, layer := range model.Layers {
+		inferLayer(layer, model.Norm(l), csr, s.H[l], s.M[l], s.Alpha[l], s.H[l+1], c)
+	}
+	return s, nil
+}
+
+// inferLayer computes one layer over every node: messages, aggregation,
+// update, optional norm. All phases are node-parallel.
+func inferLayer(layer Layer, norm *GraphNorm, csr *graph.CSR, h, m, alpha, hNext *tensor.Matrix, c *metrics.Counters) {
+	n := csr.NumNodes()
+	// Combination phase: m_u = 𝒯(h_u).
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			layer.ComputeMessage(m.Row(u), h.Row(u))
+			CountMessage(c, layer)
+		}
+	})
+	// Aggregation phase: α_u = 𝒜(m_v : v ∈ N(u)).
+	agg := layer.Agg()
+	dim := layer.MsgDim()
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			dst := alpha.Row(u)
+			agg.Identity(dst)
+			nbrs := csr.Neighbors(graph.NodeID(u))
+			for _, v := range nbrs {
+				agg.Merge(dst, m.Row(int(v)))
+			}
+			agg.Finalize(dst, len(nbrs))
+			c.FetchVec(dim * len(nbrs))
+			c.AddFLOPs(int64(dim * len(nbrs)))
+			c.StoreVec(dim)
+		}
+	})
+	// Update phase: h' = act(𝒯(α, m)).
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			layer.Update(hNext.Row(u), alpha.Row(u), m.Row(u))
+			CountUpdate(c, layer)
+			c.VisitNode()
+		}
+	})
+	if norm != nil {
+		norm.Apply(hNext)
+	}
+}
+
+// InferSubset recomputes layer l for only the listed nodes, reading the
+// current cached messages m and writing α and h_{l+1} in place. This is
+// the building block of the k-hop baseline: each recomputed node fetches
+// its whole in-neighborhood. The norm, when present, must be frozen.
+func InferSubset(layer Layer, norm *GraphNorm, g *graph.Graph, nodes []graph.NodeID, m, alpha, hNext *tensor.Matrix, c *metrics.Counters) error {
+	if norm != nil && !norm.IsFrozen {
+		return fmt.Errorf("gnn: InferSubset requires frozen GraphNorm")
+	}
+	agg := layer.Agg()
+	dim := layer.MsgDim()
+	tensor.ParallelForEach(nodes, func(u graph.NodeID) {
+		dst := alpha.Row(int(u))
+		agg.Identity(dst)
+		nbrs := g.InNeighbors(u)
+		for _, v := range nbrs {
+			agg.Merge(dst, m.Row(int(v)))
+		}
+		agg.Finalize(dst, len(nbrs))
+		c.FetchVec(dim * len(nbrs))
+		c.AddFLOPs(int64(dim * len(nbrs)))
+		c.StoreVec(dim)
+		layer.Update(hNext.Row(int(u)), dst, m.Row(int(u)))
+		CountUpdate(c, layer)
+		if norm != nil {
+			norm.ApplyRow(hNext.Row(int(u)))
+		}
+		c.VisitNode()
+	})
+	return nil
+}
+
+// ComputeMessages refreshes m_l rows for the listed nodes from h_l, used
+// after a subset of h changed.
+func ComputeMessages(layer Layer, nodes []graph.NodeID, h, m *tensor.Matrix, c *metrics.Counters) {
+	tensor.ParallelForEach(nodes, func(u graph.NodeID) {
+		layer.ComputeMessage(m.Row(int(u)), h.Row(int(u)))
+		CountMessage(c, layer)
+	})
+}

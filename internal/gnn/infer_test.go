@@ -1,0 +1,381 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// lineGraph builds 0 - 1 - 2 - ... - (n-1), undirected.
+func lineGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.NewUndirected(n)
+	for i := 0; i < n-1; i++ {
+		if err := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func testModels(rng *rand.Rand, featLen int, kind AggKind) []*Model {
+	return []*Model{
+		NewGCN(rng, featLen, 8, NewAggregator(kind)),
+		NewSAGE(rng, featLen, 8, NewAggregator(kind)),
+		NewGIN(rng, featLen, 8, 3, NewAggregator(kind)),
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range testModels(rng, 6, AggMax) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := &Model{Name: "bad", Layers: []Layer{
+		NewGCNLayer(rng, "a", 4, 8, NewAggregator(AggSum), ActReLU),
+		NewGCNLayer(rng, "b", 9, 8, NewAggregator(AggSum), ActReLU),
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("dimension mismatch must fail validation")
+	}
+	if err := (&Model{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty model must fail validation")
+	}
+}
+
+func TestModelDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewGIN(rng, 12, 8, 5, NewAggregator(AggSum))
+	if m.NumLayers() != 5 || m.InDim() != 12 || m.OutDim() != 8 {
+		t.Errorf("dims: k=%d in=%d out=%d", m.NumLayers(), m.InDim(), m.OutDim())
+	}
+}
+
+// Hand-checkable: 3-node path, GCN with sum aggregation, identity-ish
+// weights.
+func TestInferTinyGCNSum(t *testing.T) {
+	g := lineGraph(t, 3)
+	rng := rand.New(rand.NewSource(3))
+	layer := NewGCNLayer(rng, "l0", 2, 2, NewAggregator(AggSum), ActIdentity)
+	// Identity weights, zero bias: m = h.
+	layer.W = tensor.FromRows([][]float32{{1, 0}, {0, 1}})
+	layer.B = tensor.Vector{0, 0}
+	model := &Model{Name: "tiny", Layers: []Layer{layer}}
+	x := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {2, 2}})
+	s, err := Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α[0] = x[1]; α[1] = x[0]+x[2]; α[2] = x[1].
+	want := tensor.FromRows([][]float32{{0, 1}, {3, 2}, {0, 1}})
+	if !s.Output().Equal(want) {
+		t.Errorf("output = %v, want %v", s.Output(), want)
+	}
+	if !s.M[0].Equal(x) {
+		t.Error("messages should equal inputs under identity weights")
+	}
+}
+
+func TestInferShapesAndCheckpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := lineGraph(t, 10)
+	x := tensor.RandMatrix(rng, 10, 6, 1)
+	for _, m := range testModels(rng, 6, AggMean) {
+		s, err := Infer(m, g, x, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if len(s.H) != m.NumLayers()+1 || len(s.M) != m.NumLayers() {
+			t.Fatalf("%s: checkpoint counts", m.Name)
+		}
+		if s.Output().Rows != 10 || s.Output().Cols != m.OutDim() {
+			t.Fatalf("%s: output shape %dx%d", m.Name, s.Output().Rows, s.Output().Cols)
+		}
+		if !tensor.Vector(s.Output().Data).IsFinite() {
+			t.Fatalf("%s: non-finite outputs", m.Name)
+		}
+		if s.MemoryBytes() <= 0 {
+			t.Fatalf("%s: MemoryBytes", m.Name)
+		}
+	}
+}
+
+func TestInferRejectsBadFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := lineGraph(t, 4)
+	m := NewGCN(rng, 6, 8, NewAggregator(AggMax))
+	if _, err := Infer(m, g, tensor.NewMatrix(4, 5), nil); err == nil {
+		t.Error("wrong feature dim accepted")
+	}
+	if _, err := Infer(m, g, tensor.NewMatrix(3, 6), nil); err == nil {
+		t.Error("wrong node count accepted")
+	}
+}
+
+func TestInferIsolatedNodeGetsZeroAlpha(t *testing.T) {
+	g := graph.NewUndirected(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for _, kind := range []AggKind{AggMax, AggMin, AggMean, AggSum} {
+		m := NewGCN(rng, 4, 4, NewAggregator(kind))
+		x := tensor.RandMatrix(rng, 3, 4, 1)
+		s, err := Infer(m, g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Alpha[0].Row(2).Equal(tensor.NewVector(4)) {
+			t.Errorf("%v: isolated node alpha = %v, want zeros", kind, s.Alpha[0].Row(2))
+		}
+	}
+}
+
+func TestInferDeterministicAndCounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := lineGraph(t, 20)
+	x := tensor.RandMatrix(rng, 20, 5, 1)
+	m := NewSAGE(rng, 5, 8, NewAggregator(AggMax))
+	var c metrics.Counters
+	s1, err := Infer(m, g, x, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s1.Equal(s2) {
+		t.Error("inference not deterministic")
+	}
+	snap := c.Snapshot()
+	if snap.NodesVisited != int64(20*m.NumLayers()) {
+		t.Errorf("NodesVisited = %d, want %d", snap.NodesVisited, 20*m.NumLayers())
+	}
+	if snap.BytesFetched == 0 || snap.FLOPs == 0 {
+		t.Error("counters not incremented")
+	}
+}
+
+func TestStateCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := lineGraph(t, 6)
+	x := tensor.RandMatrix(rng, 6, 4, 1)
+	m := NewGCN(rng, 4, 4, NewAggregator(AggSum))
+	s, err := Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if !s.Equal(c) || !s.ApproxEqual(c, 0) {
+		t.Error("clone not equal")
+	}
+	c.Alpha[0].Set(0, 0, 123)
+	if s.Equal(c) {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestInferSubsetMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.NewUndirected(12)
+	for g.NumEdges() < 24 {
+		u, v := graph.NodeID(rng.Intn(12)), graph.NodeID(rng.Intn(12))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := tensor.RandMatrix(rng, 12, 5, 1)
+	for _, model := range testModels(rng, 5, AggMax) {
+		s, err := Infer(model, g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute a subset at layer 0 into scratch copies; results must match.
+		alpha := s.Alpha[0].Clone()
+		hNext := s.H[1].Clone()
+		alpha.Zero()
+		hNext.Fill(42)
+		nodes := []graph.NodeID{0, 3, 7}
+		if err := InferSubset(model.Layers[0], nil, g, nodes, s.M[0], alpha, hNext, nil); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range nodes {
+			if !alpha.Row(int(u)).Equal(s.Alpha[0].Row(int(u))) {
+				t.Errorf("%s: node %d alpha mismatch", model.Name, u)
+			}
+			if !hNext.Row(int(u)).Equal(s.H[1].Row(int(u))) {
+				t.Errorf("%s: node %d h mismatch", model.Name, u)
+			}
+		}
+		// Untouched rows keep their scratch value.
+		if hNext.At(1, 0) != 42 {
+			t.Errorf("%s: InferSubset touched node outside subset", model.Name)
+		}
+	}
+}
+
+func TestComputeMessagesSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	g := lineGraph(t, 8)
+	x := tensor.RandMatrix(rng, 8, 4, 1)
+	model := NewGCN(rng, 4, 6, NewAggregator(AggSum))
+	s, err := Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.M[0].Clone()
+	m.Zero()
+	ComputeMessages(model.Layers[0], []graph.NodeID{2, 5}, s.H[0], m, nil)
+	for _, u := range []int{2, 5} {
+		if !m.Row(u).Equal(s.M[0].Row(u)) {
+			t.Errorf("node %d message mismatch", u)
+		}
+	}
+	if !m.Row(0).Equal(tensor.NewVector(6)) {
+		t.Error("node outside subset was touched")
+	}
+}
+
+func TestSampleNeighborsFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.NewUndirected(30)
+	// Star: node 0 connected to all others -> in-degree 29 at node 0.
+	for i := 1; i < 30; i++ {
+		if err := g.AddEdge(0, graph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := SampleNeighbors(rng, g, 10)
+	if got := s.InDegree(0); got != 10 {
+		t.Errorf("sampled in-degree = %d, want 10", got)
+	}
+	// Leaves keep their single neighbor.
+	if s.InDegree(5) != 1 || !s.HasEdge(0, 5) {
+		t.Error("low-degree nodes must keep all neighbors")
+	}
+	// Sampled arcs must be a subset of original arcs.
+	for _, e := range s.Edges() {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("sampler invented arc %v", e)
+		}
+	}
+}
+
+func TestGraphNormExactVsFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := tensor.RandMatrix(rng, 50, 4, 3)
+	norm := NewGraphNorm(4)
+	exact := h.Clone()
+	norm.Apply(exact)
+	// After exact normalisation each channel has ~zero mean and unit var.
+	mu, sigma := Stats(exact, 0)
+	for c := 0; c < 4; c++ {
+		if mu[c] > 1e-4 || mu[c] < -1e-4 {
+			t.Errorf("channel %d mean %g", c, mu[c])
+		}
+		if sigma[c] < 0.9 || sigma[c] > 1.1 {
+			t.Errorf("channel %d sigma %g", c, sigma[c])
+		}
+	}
+	// Frozen on the same matrix gives the same result as exact.
+	norm2 := NewGraphNorm(4)
+	norm2.Freeze(h)
+	frozen := h.Clone()
+	norm2.Apply(frozen)
+	if !frozen.ApproxEqual(exact, 1e-5) {
+		t.Error("frozen stats captured from the same matrix must match exact")
+	}
+	// ApplyRow agrees with Apply in frozen mode.
+	row := h.Row(7).Clone()
+	norm2.ApplyRow(row)
+	if !row.ApproxEqual(frozen.Row(7), 1e-6) {
+		t.Error("ApplyRow disagrees with Apply")
+	}
+}
+
+func TestGraphNormApplyRowPanicsUnfrozen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ApplyRow must panic in exact mode")
+		}
+	}()
+	NewGraphNorm(2).ApplyRow(tensor.Vector{1, 2})
+}
+
+func TestGraphNormEmptyMatrix(t *testing.T) {
+	mu, sigma := Stats(tensor.NewMatrix(0, 3), 1e-5)
+	for c := 0; c < 3; c++ {
+		if mu[c] != 0 || sigma[c] != 1 {
+			t.Errorf("empty stats: mu=%v sigma=%v", mu, sigma)
+		}
+	}
+}
+
+func TestGraphNormClone(t *testing.T) {
+	n := NewGraphNorm(2)
+	n.Freeze(tensor.FromRows([][]float32{{1, 2}, {3, 4}}))
+	c := n.Clone()
+	c.Mu[0] = 99
+	if n.Mu[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestModelWithNormValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := NewGCN(rng, 4, 4, NewAggregator(AggMean))
+	m.Norms = []*GraphNorm{NewGraphNorm(4)} // wrong length: 1 for 2 layers
+	if err := m.Validate(); err == nil {
+		t.Error("norm/layer count mismatch must fail")
+	}
+	m.Norms = []*GraphNorm{NewGraphNorm(4), nil}
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid norm config rejected: %v", err)
+	}
+	if m.Norm(0) == nil || m.Norm(1) != nil {
+		t.Error("Norm accessor wrong")
+	}
+}
+
+func TestInferWithFrozenNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := lineGraph(t, 10)
+	x := tensor.RandMatrix(rng, 10, 4, 1)
+	m := NewGCN(rng, 4, 4, NewAggregator(AggMean))
+	m.Norms = []*GraphNorm{NewGraphNorm(4), NewGraphNorm(4)}
+	// Exact-mode inference works in the full engine.
+	s1, err := Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freeze on the produced hidden states, then frozen inference is
+	// deterministic and close to exact on the unchanged graph.
+	m.Norms[0].Freeze(s1.H[1])
+	m.Norms[1].Freeze(s1.H[2])
+	s2, err := Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Output().Rows != 10 {
+		t.Fatal("shape")
+	}
+	// Note H[1] of s1 is post-exact-norm; freezing captured stats of the
+	// *normalised* matrix, so s2 re-normalises — just check finiteness and
+	// determinism here (Fig. 9 handles fidelity).
+	s3, err := Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s3) {
+		t.Error("frozen-norm inference not deterministic")
+	}
+}

@@ -1,0 +1,294 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Model is a stack of layers with optional per-layer GraphNorm, matching
+// the benchmark configurations of Sec. III-A: 2-layer GCN, 2-layer
+// GraphSAGE, 5-layer GIN.
+type Model struct {
+	Name   string
+	Layers []Layer
+	// Norms[l], when non-nil, is applied to h_{l+1} after layer l.
+	Norms []*GraphNorm
+}
+
+// NumLayers returns k, the model depth.
+func (m *Model) NumLayers() int { return len(m.Layers) }
+
+// InDim returns the input feature dimension.
+func (m *Model) InDim() int { return m.Layers[0].InDim() }
+
+// OutDim returns the output embedding dimension.
+func (m *Model) OutDim() int { return m.Layers[len(m.Layers)-1].OutDim() }
+
+// Validate checks inter-layer dimension compatibility.
+func (m *Model) Validate() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("gnn: model %q has no layers", m.Name)
+	}
+	if m.Norms != nil && len(m.Norms) != len(m.Layers) {
+		return fmt.Errorf("gnn: model %q has %d norms for %d layers", m.Name, len(m.Norms), len(m.Layers))
+	}
+	for l := 1; l < len(m.Layers); l++ {
+		if m.Layers[l].InDim() != m.Layers[l-1].OutDim() {
+			return fmt.Errorf("gnn: model %q: layer %d InDim %d != layer %d OutDim %d",
+				m.Name, l, m.Layers[l].InDim(), l-1, m.Layers[l-1].OutDim())
+		}
+	}
+	return nil
+}
+
+// Norm returns the post-norm for layer l, or nil.
+func (m *Model) Norm(l int) *GraphNorm {
+	if m.Norms == nil {
+		return nil
+	}
+	return m.Norms[l]
+}
+
+// ---------------------------------------------------------------------------
+// GCN
+
+// GCNLayer implements a Kipf–Welling style convolution in the paper's
+// combination-first form: m = h·W + b, α = 𝒜(m over N(u)), h' = act(α).
+// The aggregator is pluggable (mean for InkStream-a, max for InkStream-m),
+// as in the paper's two evaluated variants. It is not self-dependent: the
+// effect of a change propagates along graph edges only.
+type GCNLayer struct {
+	name    string
+	W       *tensor.Matrix // InDim x OutDim
+	B       tensor.Vector  // OutDim
+	agg     Aggregator
+	act     tensor.Activation
+	actKind ActKind
+}
+
+// NewGCNLayer builds one GCN layer with Glorot weights from rng.
+func NewGCNLayer(rng *rand.Rand, name string, inDim, outDim int, agg Aggregator, act ActKind) *GCNLayer {
+	return &GCNLayer{
+		name:    name,
+		W:       tensor.GlorotMatrix(rng, inDim, outDim),
+		B:       tensor.RandVector(rng, outDim, 0.1),
+		agg:     agg,
+		act:     act.Fn(),
+		actKind: act,
+	}
+}
+
+func (l *GCNLayer) Name() string        { return l.name }
+func (l *GCNLayer) InDim() int          { return l.W.Rows }
+func (l *GCNLayer) MsgDim() int         { return l.W.Cols }
+func (l *GCNLayer) OutDim() int         { return l.W.Cols }
+func (l *GCNLayer) Agg() Aggregator     { return l.agg }
+func (l *GCNLayer) SelfDependent() bool { return false }
+
+// Act returns the serialisable activation identity.
+func (l *GCNLayer) Act() ActKind { return l.actKind }
+
+func (l *GCNLayer) ComputeMessage(dst, h tensor.Vector) {
+	tensor.VecMat(dst, h, l.W)
+	tensor.Add(dst, dst, l.B)
+}
+
+func (l *GCNLayer) Update(dst, alpha, m tensor.Vector) {
+	l.act(dst, alpha)
+}
+
+func (l *GCNLayer) MessageFLOPs() int64 {
+	return int64(2*l.W.Rows*l.W.Cols + l.W.Cols)
+}
+func (l *GCNLayer) UpdateFLOPs() int64 { return int64(l.W.Cols) }
+
+// RestoreGCNLayer rebuilds a GCN layer from serialised parts.
+func RestoreGCNLayer(name string, w *tensor.Matrix, b tensor.Vector, agg Aggregator, act ActKind) *GCNLayer {
+	return &GCNLayer{name: name, W: w, B: b, agg: agg, act: act.Fn(), actKind: act}
+}
+
+// NewGCN builds the paper's 2-layer GCN benchmark: featLen -> hidden ->
+// hidden with ReLU between layers and identity output.
+func NewGCN(rng *rand.Rand, featLen, hidden int, agg Aggregator) *Model {
+	return &Model{
+		Name: "GCN",
+		Layers: []Layer{
+			NewGCNLayer(rng, "gcn[0]", featLen, hidden, agg, ActReLU),
+			NewGCNLayer(rng, "gcn[1]", hidden, hidden, agg, ActIdentity),
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE
+
+// SAGELayer implements GraphSAGE (Fig. 6): aggregation-first with
+// m = h, α = 𝒜(h over N(u)), h' = act(W1·α + W2·h + b). The W2·h term makes
+// it self-dependent: InkStream expresses it with user events carrying the
+// node's own old/new message.
+type SAGELayer struct {
+	name    string
+	W1, W2  *tensor.Matrix // InDim x OutDim each
+	B       tensor.Vector
+	agg     Aggregator
+	act     tensor.Activation
+	actKind ActKind
+	pool    *tensor.VecPool // scratch for the W2·h term
+}
+
+// NewSAGELayer builds one GraphSAGE layer with Glorot weights from rng.
+func NewSAGELayer(rng *rand.Rand, name string, inDim, outDim int, agg Aggregator, act ActKind) *SAGELayer {
+	return &SAGELayer{
+		name:    name,
+		W1:      tensor.GlorotMatrix(rng, inDim, outDim),
+		W2:      tensor.GlorotMatrix(rng, inDim, outDim),
+		B:       tensor.RandVector(rng, outDim, 0.1),
+		agg:     agg,
+		act:     act.Fn(),
+		actKind: act,
+		pool:    tensor.NewVecPool(outDim),
+	}
+}
+
+func (l *SAGELayer) Name() string        { return l.name }
+func (l *SAGELayer) InDim() int          { return l.W1.Rows }
+func (l *SAGELayer) MsgDim() int         { return l.W1.Rows }
+func (l *SAGELayer) OutDim() int         { return l.W1.Cols }
+func (l *SAGELayer) Agg() Aggregator     { return l.agg }
+func (l *SAGELayer) SelfDependent() bool { return true }
+
+// Act returns the serialisable activation identity.
+func (l *SAGELayer) Act() ActKind { return l.actKind }
+
+func (l *SAGELayer) ComputeMessage(dst, h tensor.Vector) { copy(dst, h) }
+
+func (l *SAGELayer) Update(dst, alpha, m tensor.Vector) {
+	tensor.VecMat(dst, alpha, l.W1)
+	scratch := l.pool.Get()
+	tensor.VecMat(scratch, m, l.W2)
+	tensor.Add(dst, dst, scratch)
+	l.pool.Put(scratch)
+	tensor.Add(dst, dst, l.B)
+	l.act(dst, dst)
+}
+
+func (l *SAGELayer) MessageFLOPs() int64 { return 0 }
+func (l *SAGELayer) UpdateFLOPs() int64 {
+	return int64(4*l.W1.Rows*l.W1.Cols + 3*l.W1.Cols)
+}
+
+// RestoreSAGELayer rebuilds a GraphSAGE layer from serialised parts.
+func RestoreSAGELayer(name string, w1, w2 *tensor.Matrix, b tensor.Vector, agg Aggregator, act ActKind) *SAGELayer {
+	return &SAGELayer{
+		name: name, W1: w1, W2: w2, B: b, agg: agg,
+		act: act.Fn(), actKind: act, pool: tensor.NewVecPool(w1.Cols),
+	}
+}
+
+// NewSAGE builds the paper's 2-layer GraphSAGE benchmark.
+func NewSAGE(rng *rand.Rand, featLen, hidden int, agg Aggregator) *Model {
+	return &Model{
+		Name: "GraphSAGE",
+		Layers: []Layer{
+			NewSAGELayer(rng, "sage[0]", featLen, hidden, agg, ActReLU),
+			NewSAGELayer(rng, "sage[1]", hidden, hidden, agg, ActIdentity),
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GIN
+
+// GINLayer implements the Graph Isomorphism Network update:
+// h' = MLP((1+ε)·h + α) with α = 𝒜(h over N(u)) and a two-layer MLP
+// (W1, ReLU, W2). Aggregation-first and self-dependent via the (1+ε)h term.
+type GINLayer struct {
+	name    string
+	Eps     float32
+	W1      *tensor.Matrix // InDim x Hidden
+	W2      *tensor.Matrix // Hidden x OutDim
+	B1, B2  tensor.Vector
+	agg     Aggregator
+	act     tensor.Activation
+	actKind ActKind
+	mlpHide int
+	inPool  *tensor.VecPool // scratch for (1+ε)h + α
+	hidPool *tensor.VecPool // scratch for the MLP hidden activation
+}
+
+// NewGINLayer builds one GIN layer whose MLP hidden width equals outDim.
+func NewGINLayer(rng *rand.Rand, name string, inDim, outDim int, agg Aggregator, act ActKind) *GINLayer {
+	return &GINLayer{
+		name:    name,
+		Eps:     0.1,
+		W1:      tensor.GlorotMatrix(rng, inDim, outDim),
+		W2:      tensor.GlorotMatrix(rng, outDim, outDim),
+		B1:      tensor.RandVector(rng, outDim, 0.1),
+		B2:      tensor.RandVector(rng, outDim, 0.1),
+		agg:     agg,
+		act:     act.Fn(),
+		actKind: act,
+		mlpHide: outDim,
+		inPool:  tensor.NewVecPool(inDim),
+		hidPool: tensor.NewVecPool(outDim),
+	}
+}
+
+func (l *GINLayer) Name() string        { return l.name }
+func (l *GINLayer) InDim() int          { return l.W1.Rows }
+func (l *GINLayer) MsgDim() int         { return l.W1.Rows }
+func (l *GINLayer) OutDim() int         { return l.W2.Cols }
+func (l *GINLayer) Agg() Aggregator     { return l.agg }
+func (l *GINLayer) SelfDependent() bool { return true }
+
+// Act returns the serialisable activation identity.
+func (l *GINLayer) Act() ActKind { return l.actKind }
+
+func (l *GINLayer) ComputeMessage(dst, h tensor.Vector) { copy(dst, h) }
+
+func (l *GINLayer) Update(dst, alpha, m tensor.Vector) {
+	in := l.inPool.Get()
+	for i := range in {
+		in[i] = (1+l.Eps)*m[i] + alpha[i]
+	}
+	hid := l.hidPool.Get()
+	tensor.VecMat(hid, in, l.W1)
+	l.inPool.Put(in)
+	tensor.Add(hid, hid, l.B1)
+	tensor.ReLU(hid, hid)
+	tensor.VecMat(dst, hid, l.W2)
+	l.hidPool.Put(hid)
+	tensor.Add(dst, dst, l.B2)
+	l.act(dst, dst)
+}
+
+func (l *GINLayer) MessageFLOPs() int64 { return 0 }
+func (l *GINLayer) UpdateFLOPs() int64 {
+	return int64(2*l.InDim() + 2*l.W1.Rows*l.W1.Cols + 2*l.W2.Rows*l.W2.Cols + 3*l.OutDim())
+}
+
+// RestoreGINLayer rebuilds a GIN layer from serialised parts.
+func RestoreGINLayer(name string, eps float32, w1, w2 *tensor.Matrix, b1, b2 tensor.Vector, agg Aggregator, act ActKind) *GINLayer {
+	return &GINLayer{
+		name: name, Eps: eps, W1: w1, W2: w2, B1: b1, B2: b2, agg: agg,
+		act: act.Fn(), actKind: act, mlpHide: w1.Cols,
+		inPool: tensor.NewVecPool(w1.Rows), hidPool: tensor.NewVecPool(w1.Cols),
+	}
+}
+
+// NewGIN builds the paper's 5-layer GIN benchmark.
+func NewGIN(rng *rand.Rand, featLen, hidden, layers int, agg Aggregator) *Model {
+	m := &Model{Name: "GIN"}
+	in := featLen
+	for l := 0; l < layers; l++ {
+		act := ActReLU
+		if l == layers-1 {
+			act = ActIdentity
+		}
+		m.Layers = append(m.Layers, NewGINLayer(rng, fmt.Sprintf("gin[%d]", l), in, hidden, NewAggregator(agg.Kind()), act))
+		in = hidden
+	}
+	return m
+}

@@ -1,0 +1,149 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GraphNorm normalises each embedding channel across the whole vertex set:
+// h'[u][c] = γ[c] · (h[u][c] − μ[c]) / σ[c] + β[c].
+//
+// Exact GraphNorm recomputes μ and σ over all vertices on every call, which
+// in a dynamic graph couples every vertex to every change (Sec. II-E). The
+// paper's approximation freezes μ and σ at the statistics captured during
+// (periodic re-)training; Freeze switches a layer into that mode, making
+// the operation per-node and therefore compatible with incremental
+// updates.
+type GraphNorm struct {
+	Gamma, Beta tensor.Vector
+	// Frozen statistics; valid only when IsFrozen.
+	Mu, Sigma tensor.Vector
+	IsFrozen  bool
+	// Eps guards against zero variance.
+	Eps float32
+}
+
+// NewGraphNorm returns an exact-mode GraphNorm with unit scale and zero
+// shift over dim channels.
+func NewGraphNorm(dim int) *GraphNorm {
+	g := &GraphNorm{
+		Gamma: make(tensor.Vector, dim),
+		Beta:  make(tensor.Vector, dim),
+		Eps:   1e-5,
+	}
+	for i := range g.Gamma {
+		g.Gamma[i] = 1
+	}
+	return g
+}
+
+// Stats computes per-channel mean and standard deviation over all rows of h.
+func Stats(h *tensor.Matrix, eps float32) (mu, sigma tensor.Vector) {
+	mu = make(tensor.Vector, h.Cols)
+	sigma = make(tensor.Vector, h.Cols)
+	if h.Rows == 0 {
+		for c := range sigma {
+			sigma[c] = 1
+		}
+		return mu, sigma
+	}
+	n := float32(h.Rows)
+	for u := 0; u < h.Rows; u++ {
+		tensor.Axpy(mu, 1, h.Row(u))
+	}
+	tensor.Scale(mu, 1/n, mu)
+	for u := 0; u < h.Rows; u++ {
+		row := h.Row(u)
+		for c := range sigma {
+			d := row[c] - mu[c]
+			sigma[c] += d * d
+		}
+	}
+	for c := range sigma {
+		sigma[c] = float32(math.Sqrt(float64(sigma[c]/n + eps)))
+	}
+	return mu, sigma
+}
+
+// Freeze captures the statistics of h (standing in for the training-time
+// statistics) and switches the layer to frozen mode.
+func (g *GraphNorm) Freeze(h *tensor.Matrix) {
+	g.Mu, g.Sigma = Stats(h, g.Eps)
+	g.IsFrozen = true
+}
+
+// FreezeCaptured switches to frozen mode using the statistics recorded by
+// the most recent exact-mode Apply — the paper's procedure of caching the
+// mean and variance computed at (re)training time for later inference.
+func (g *GraphNorm) FreezeCaptured() error {
+	if g.Mu == nil || g.Sigma == nil {
+		return fmt.Errorf("gnn: FreezeCaptured before any exact Apply")
+	}
+	g.IsFrozen = true
+	return nil
+}
+
+// Apply normalises h in place. Exact mode computes fresh statistics over
+// the current rows (and records them in Mu/Sigma, standing in for the
+// statistics captured during periodic retraining — see FreezeCaptured);
+// frozen mode uses the previously captured ones.
+func (g *GraphNorm) Apply(h *tensor.Matrix) {
+	mu, sigma := g.Mu, g.Sigma
+	if !g.IsFrozen {
+		mu, sigma = Stats(h, g.Eps)
+		g.Mu, g.Sigma = mu, sigma
+	}
+	tensor.ParallelFor(h.Rows, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			g.applyRow(h.Row(u), mu, sigma)
+		}
+	})
+}
+
+// ApplyRow normalises a single node's embedding in place using frozen
+// statistics. It panics in exact mode, where per-node application is
+// ill-defined — this is precisely why the incremental engine requires
+// frozen norms.
+func (g *GraphNorm) ApplyRow(h tensor.Vector) {
+	if !g.IsFrozen {
+		panic("gnn: GraphNorm.ApplyRow requires frozen statistics (call Freeze)")
+	}
+	g.applyRow(h, g.Mu, g.Sigma)
+}
+
+func (g *GraphNorm) applyRow(h, mu, sigma tensor.Vector) {
+	for c := range h {
+		h[c] = g.Gamma[c]*(h[c]-mu[c])/sigma[c] + g.Beta[c]
+	}
+}
+
+// Dim returns the channel count.
+func (g *GraphNorm) Dim() int { return len(g.Gamma) }
+
+// Clone returns a deep copy (used to compare exact vs frozen variants of
+// the same parameters in the Fig. 9 experiment).
+func (g *GraphNorm) Clone() *GraphNorm {
+	c := &GraphNorm{
+		Gamma:    g.Gamma.Clone(),
+		Beta:     g.Beta.Clone(),
+		IsFrozen: g.IsFrozen,
+		Eps:      g.Eps,
+	}
+	if g.Mu != nil {
+		c.Mu = g.Mu.Clone()
+	}
+	if g.Sigma != nil {
+		c.Sigma = g.Sigma.Clone()
+	}
+	return c
+}
+
+func (g *GraphNorm) String() string {
+	mode := "exact"
+	if g.IsFrozen {
+		mode = "frozen"
+	}
+	return fmt.Sprintf("GraphNorm(dim=%d, %s)", g.Dim(), mode)
+}

@@ -1,0 +1,42 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// SampleNeighbors builds a directed subgraph of g where every node keeps at
+// most fanout uniformly sampled in-neighbors — the GraphSAGE neighbor
+// sampler used by the paper's PyG baseline (10 neighbors per layer). The
+// returned graph is directed even when g is undirected: sampling per
+// destination is asymmetric.
+func SampleNeighbors(rng *rand.Rand, g *graph.Graph, fanout int) *graph.Graph {
+	out := graph.New(g.NumNodes())
+	perm := make([]graph.NodeID, 0, 64)
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs := g.InNeighbors(graph.NodeID(u))
+		if len(nbrs) <= fanout {
+			for _, v := range nbrs {
+				mustAddArc(out, v, graph.NodeID(u))
+			}
+			continue
+		}
+		perm = append(perm[:0], nbrs...)
+		// Partial Fisher–Yates: draw the first `fanout` entries.
+		for i := 0; i < fanout; i++ {
+			j := i + rng.Intn(len(perm)-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for _, v := range perm[:fanout] {
+			mustAddArc(out, v, graph.NodeID(u))
+		}
+	}
+	return out
+}
+
+func mustAddArc(g *graph.Graph, u, v graph.NodeID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic("gnn: sampler produced invalid arc: " + err.Error())
+	}
+}

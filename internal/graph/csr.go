@@ -1,0 +1,38 @@
+package graph
+
+// CSR is a frozen compressed-sparse-row snapshot of a graph's in-adjacency,
+// used by the full-graph inference engines where sequential neighbor scans
+// dominate. Row u covers InNeighbors(u).
+type CSR struct {
+	RowPtr []int64
+	Col    []NodeID
+}
+
+// FreezeIn builds a CSR over the in-adjacency of g. Neighbor order within a
+// row follows the current adjacency-list order; aggregation functions in
+// this repository are order-insensitive up to floating-point reassociation.
+func FreezeIn(g *Graph) *CSR {
+	n := g.NumNodes()
+	c := &CSR{
+		RowPtr: make([]int64, n+1),
+		Col:    make([]NodeID, 0, g.NumArcs()),
+	}
+	for u := 0; u < n; u++ {
+		c.Col = append(c.Col, g.InNeighbors(NodeID(u))...)
+		c.RowPtr[u+1] = int64(len(c.Col))
+	}
+	return c
+}
+
+// Neighbors returns the frozen in-neighborhood of u.
+func (c *CSR) Neighbors(u NodeID) []NodeID {
+	return c.Col[c.RowPtr[u]:c.RowPtr[u+1]]
+}
+
+// Degree returns the frozen in-degree of u.
+func (c *CSR) Degree(u NodeID) int {
+	return int(c.RowPtr[u+1] - c.RowPtr[u])
+}
+
+// NumNodes returns the node count of the frozen snapshot.
+func (c *CSR) NumNodes() int { return len(c.RowPtr) - 1 }

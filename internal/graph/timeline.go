@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Timeline is a continuous-time dynamic graph (C-TDG): a set of edges with
+// creation and optional deletion times. The paper's evaluation derives its
+// workloads this way — "we assign random edge creation and deletion times
+// following the work in T-GCN" and "use the latest n edges from each
+// dataset to capture a graph's snapshot".
+type Timeline struct {
+	NumNodes int
+	Events   []TimedEdge
+}
+
+// TimedEdge is one edge's lifetime: it exists in [Created, Deleted);
+// Deleted <= 0 means never deleted.
+type TimedEdge struct {
+	U, V             NodeID
+	Created, Deleted float64
+}
+
+// Alive reports whether the edge exists at time t.
+func (e TimedEdge) Alive(t float64) bool {
+	return e.Created <= t && (e.Deleted <= 0 || t < e.Deleted)
+}
+
+// AssignTimes builds a timeline from a static graph by drawing uniform
+// creation times in [0, 1) and, for deleteFrac of the edges, a deletion
+// time after creation — the T-GCN-style randomisation of the paper's
+// setup. The result is reproducible for a fixed seed.
+func AssignTimes(g *Graph, deleteFrac float64, seed int64) (*Timeline, error) {
+	if deleteFrac < 0 || deleteFrac > 1 {
+		return nil, fmt.Errorf("graph: deleteFrac %g outside [0,1]", deleteFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tl := &Timeline{NumNodes: g.NumNodes()}
+	for _, e := range g.Edges() {
+		if g.Undirected && e[0] > e[1] {
+			continue // one representative per undirected edge
+		}
+		te := TimedEdge{U: e[0], V: e[1], Created: rng.Float64()}
+		if rng.Float64() < deleteFrac {
+			te.Deleted = te.Created + (1-te.Created)*rng.Float64()
+			if te.Deleted <= te.Created {
+				te.Deleted = te.Created + 1e-9
+			}
+		}
+		tl.Events = append(tl.Events, te)
+	}
+	sort.Slice(tl.Events, func(i, j int) bool { return tl.Events[i].Created < tl.Events[j].Created })
+	return tl, nil
+}
+
+// SnapshotAt materialises the graph of edges alive at time t. The result
+// is undirected (benchmark datasets are).
+func (tl *Timeline) SnapshotAt(t float64) *Graph {
+	g := NewUndirected(tl.NumNodes)
+	for _, e := range tl.Events {
+		if e.Alive(t) && !g.HasEdge(e.U, e.V) {
+			if err := g.AddEdge(e.U, e.V); err != nil {
+				panic("graph: SnapshotAt: " + err.Error())
+			}
+		}
+	}
+	return g
+}
+
+// LatestN materialises the snapshot of the n most recently created edges
+// that are alive at time t — the paper's "latest n edges" windowing that
+// excludes overly dated interactions. If fewer than n edges are alive, all
+// of them are kept.
+func (tl *Timeline) LatestN(t float64, n int) *Graph {
+	alive := make([]TimedEdge, 0, len(tl.Events))
+	for _, e := range tl.Events {
+		if e.Alive(t) {
+			alive = append(alive, e)
+		}
+	}
+	if len(alive) > n {
+		// Events are sorted by creation time; keep the newest n.
+		alive = alive[len(alive)-n:]
+	}
+	g := NewUndirected(tl.NumNodes)
+	for _, e := range alive {
+		if !g.HasEdge(e.U, e.V) {
+			if err := g.AddEdge(e.U, e.V); err != nil {
+				panic("graph: LatestN: " + err.Error())
+			}
+		}
+	}
+	return g
+}
+
+// DeltaBetween computes the ΔG transforming the snapshot at t0 into the
+// snapshot at t1 (edge set difference). The returned delta validates
+// against SnapshotAt(t0).
+func (tl *Timeline) DeltaBetween(t0, t1 float64) Delta {
+	var d Delta
+	for _, e := range tl.Events {
+		was, is := e.Alive(t0), e.Alive(t1)
+		switch {
+		case !was && is:
+			d = append(d, EdgeChange{U: e.U, V: e.V, Insert: true})
+		case was && !is:
+			d = append(d, EdgeChange{U: e.U, V: e.V, Insert: false})
+		}
+	}
+	return d
+}
+
+// Timestamps returns n evenly spaced times spanning (0, 1], the natural
+// replay points of a timeline built by AssignTimes.
+func Timestamps(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i+1) / float64(n)
+	}
+	return out
+}

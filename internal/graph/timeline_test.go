@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func timelineGraph(t *testing.T) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := NewUndirected(50)
+	for g.NumEdges() < 200 {
+		u := NodeID(rng.Intn(50))
+		v := NodeID(rng.Intn(50))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAssignTimesReproducible(t *testing.T) {
+	g := timelineGraph(t)
+	a, err := AssignTimes(g, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignTimes(g, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != g.NumEdges() || len(b.Events) != len(a.Events) {
+		t.Fatalf("event count %d, want %d", len(a.Events), g.NumEdges())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("timeline not reproducible")
+		}
+	}
+	if _, err := AssignTimes(g, 1.5, 1); err == nil {
+		t.Error("deleteFrac > 1 accepted")
+	}
+}
+
+func TestTimedEdgeLifetimes(t *testing.T) {
+	e := TimedEdge{Created: 0.3, Deleted: 0.7}
+	for _, c := range []struct {
+		t    float64
+		want bool
+	}{{0.1, false}, {0.3, true}, {0.5, true}, {0.7, false}, {0.9, false}} {
+		if got := e.Alive(c.t); got != c.want {
+			t.Errorf("Alive(%g) = %v", c.t, got)
+		}
+	}
+	forever := TimedEdge{Created: 0.2}
+	if !forever.Alive(100) {
+		t.Error("undeleted edge must stay alive")
+	}
+}
+
+func TestSnapshotMonotoneWithoutDeletions(t *testing.T) {
+	g := timelineGraph(t)
+	tl, err := AssignTimes(g, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, ts := range Timestamps(5) {
+		snap := tl.SnapshotAt(ts)
+		if snap.NumEdges() < prev {
+			t.Fatalf("edge count decreased without deletions at t=%g", ts)
+		}
+		prev = snap.NumEdges()
+	}
+	if got := tl.SnapshotAt(1.0).NumEdges(); got != g.NumEdges() {
+		t.Errorf("final snapshot %d edges, want %d", got, g.NumEdges())
+	}
+	if tl.SnapshotAt(0).NumEdges() != 0 {
+		t.Error("t=0 snapshot should be empty (creations strictly positive a.s.)")
+	}
+}
+
+func TestSnapshotWithDeletions(t *testing.T) {
+	g := timelineGraph(t)
+	tl, err := AssignTimes(g, 1.0, 9) // every edge eventually deleted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.SnapshotAt(2.0).NumEdges(); got != 0 {
+		t.Errorf("all edges deleted by t=2, snapshot has %d", got)
+	}
+	mid := tl.SnapshotAt(0.5)
+	// Cross-check against per-edge lifetimes.
+	want := 0
+	for _, e := range tl.Events {
+		if e.Alive(0.5) {
+			want++
+		}
+	}
+	if mid.NumEdges() != want {
+		t.Errorf("snapshot %d edges, lifetimes say %d", mid.NumEdges(), want)
+	}
+}
+
+func TestLatestNWindow(t *testing.T) {
+	g := timelineGraph(t)
+	tl, err := AssignTimes(g, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := tl.SnapshotAt(1.0)
+	win := tl.LatestN(1.0, 50)
+	if win.NumEdges() != 50 {
+		t.Fatalf("window kept %d edges, want 50", win.NumEdges())
+	}
+	// Windowed edges are a subset of the full snapshot.
+	for _, e := range win.Edges() {
+		if !full.HasEdge(e[0], e[1]) {
+			t.Fatalf("window invented edge %v", e)
+		}
+	}
+	// The kept edges are the most recent ones: every kept edge's creation
+	// time must be >= every dropped edge's creation time.
+	kept := map[[2]NodeID]bool{}
+	for _, e := range win.Edges() {
+		kept[[2]NodeID{e[0], e[1]}] = true
+	}
+	var minKept, maxDropped float64 = 2, -1
+	for _, ev := range tl.Events {
+		if kept[[2]NodeID{ev.U, ev.V}] || kept[[2]NodeID{ev.V, ev.U}] {
+			if ev.Created < minKept {
+				minKept = ev.Created
+			}
+		} else if ev.Created > maxDropped {
+			maxDropped = ev.Created
+		}
+	}
+	if maxDropped > minKept {
+		t.Errorf("window not recency-ordered: dropped %.3f > kept %.3f", maxDropped, minKept)
+	}
+	// Window larger than the edge count keeps everything.
+	if tl.LatestN(1.0, 10_000).NumEdges() != g.NumEdges() {
+		t.Error("oversized window should keep all edges")
+	}
+}
+
+func TestDeltaBetweenReplaysSnapshots(t *testing.T) {
+	g := timelineGraph(t)
+	tl, err := AssignTimes(g, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := Timestamps(6)
+	cur := tl.SnapshotAt(times[0])
+	for i := 1; i < len(times); i++ {
+		d := tl.DeltaBetween(times[i-1], times[i])
+		if err := d.Validate(cur); err != nil {
+			t.Fatalf("t=%g: %v", times[i], err)
+		}
+		if err := d.Apply(cur); err != nil {
+			t.Fatalf("t=%g: %v", times[i], err)
+		}
+		want := tl.SnapshotAt(times[i])
+		if cur.NumEdges() != want.NumEdges() {
+			t.Fatalf("t=%g: replay has %d edges, snapshot %d", times[i], cur.NumEdges(), want.NumEdges())
+		}
+		for _, e := range want.Edges() {
+			if !cur.HasEdge(e[0], e[1]) {
+				t.Fatalf("t=%g: replay missing %v", times[i], e)
+			}
+		}
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	ts := Timestamps(4)
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Errorf("Timestamps[%d] = %g", i, ts[i])
+		}
+	}
+}

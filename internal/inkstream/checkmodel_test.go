@@ -1,0 +1,46 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/tensor"
+)
+
+// irreversibleAgg is a std-like aggregation function: it reports itself
+// non-reversible, so the engine must refuse it (the paper: "irreversible
+// aggregation functions like std are not compatible with our method").
+type irreversibleAgg struct{ gnn.Aggregator }
+
+func (irreversibleAgg) Reversible() bool { return false }
+
+func TestCheckModelRejectsIrreversibleAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	model := gnn.NewGCN(rng, 4, 4, irreversibleAgg{gnn.NewAggregator(gnn.AggSum)})
+	if err := CheckModel(model); err == nil {
+		t.Fatal("irreversible aggregation accepted")
+	}
+	g := randomGraph(rng, 10, 20)
+	x := tensor.RandMatrix(rng, 10, 4, 1)
+	if _, err := New(model, g, x, nil, Options{}); err == nil {
+		t.Fatal("engine constructed over irreversible aggregation")
+	}
+}
+
+func TestCheckModelAcceptsAllBuiltins(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range allKinds {
+		for _, name := range allModels {
+			if err := CheckModel(buildModel(rng, name, 4, kind)); err != nil {
+				t.Errorf("%s/%v rejected: %v", name, kind, err)
+			}
+		}
+	}
+}
+
+func TestCheckModelRejectsInvalidModel(t *testing.T) {
+	if err := CheckModel(&gnn.Model{Name: "empty"}); err == nil {
+		t.Error("empty model accepted")
+	}
+}

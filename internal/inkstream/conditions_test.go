@@ -1,0 +1,341 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// fig4Engine reproduces the paper's Fig. 4 setting: vertex A (node 0) with
+// neighbors B, C, D (1, 2, 3) under max aggregation, using an identity GCN
+// layer so messages equal features.
+func fig4Engine(t *testing.T, feats [][]float32) (*Engine, *tensor.Matrix) {
+	t.Helper()
+	n := len(feats)
+	g := graph.NewUndirected(n)
+	for v := 1; v < 4; v++ {
+		if err := g.AddEdge(0, graph.NodeID(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Extra nodes (index >= 4) are sources for insertions, unconnected.
+	rng := rand.New(rand.NewSource(1))
+	layer := gnn.NewGCNLayer(rng, "l0", 4, 4, gnn.NewAggregator(gnn.AggMax), gnn.ActIdentity)
+	layer.W = tensor.FromRows([][]float32{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}})
+	layer.B = tensor.NewVector(4)
+	model := &gnn.Model{Name: "fig4", Layers: []gnn.Layer{layer}}
+	x := tensor.FromRows(feats)
+	e, err := New(model, g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, x
+}
+
+// Fig. 4 row (f) upper: deleting the dominating neighbor D and adding an
+// edge whose message covers the reset channels — grouping classifies it and
+// the engine stays exact.
+func TestFig4CoveredAndExposed(t *testing.T) {
+	// Node features: A, B, C, D, E(insert source covering), F(insert
+	// source not covering). α⁻_A = max(B,C,D) = [14,16,12,3].
+	feats := [][]float32{
+		{0, 0, 0, 0},    // A
+		{13, 13, 3, 2},  // B
+		{11, 16, 12, 3}, // C
+		{14, 16, 8, 1},  // D — dominates channels 0 (14) and ties 1 (16)
+		{15, 18, 14, 0}, // E — covers D's channels
+		{1, 1, 1, 1},    // F — exposes
+	}
+	e, x := fig4Engine(t, feats)
+	alpha := e.State().Alpha[0].Row(0)
+	if !alpha.Equal(tensor.Vector{14, 16, 12, 3}) {
+		t.Fatalf("α⁻_A = %v", alpha)
+	}
+	// Covered reset: del (A,D), insert (A,E).
+	if err := e.Update(graph.Delta{{U: 0, V: 3}, {U: 0, V: 4, Insert: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Counts[CondCoveredReset] == 0 {
+		t.Errorf("expected a covered reset, stats: %v", e.Stats())
+	}
+	checkEquivalence(t, e, x, gnn.AggMax, "fig4-covered")
+
+	// Exposed reset: now remove E and add F (dominated): recompute needed.
+	e.ResetStats()
+	if err := e.Update(graph.Delta{{U: 0, V: 4}, {U: 0, V: 5, Insert: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Counts[CondExposedReset] == 0 {
+		t.Errorf("expected an exposed reset, stats: %v", e.Stats())
+	}
+	checkEquivalence(t, e, x, gnn.AggMax, "fig4-exposed")
+}
+
+// A no-reset case: deleting a dominated neighbor leaves α untouched and the
+// node is pruned (resilient).
+func TestNoResetPrunes(t *testing.T) {
+	feats := [][]float32{
+		{0, 0, 0, 0},
+		{13, 13, 3, 2},  // B dominated by max(C,D) on all channels?
+		{11, 16, 12, 3}, // C
+		{14, 16, 8, 4},  // D
+	}
+	// max(C,D) = [14,16,12,4]; B = [13,13,3,2] strictly below -> deleting B
+	// changes nothing.
+	e, x := fig4Engine(t, feats)
+	if err := e.Update(graph.Delta{{U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Counts[CondPruned] == 0 {
+		t.Errorf("expected pruned resilient node, stats: %v", e.Stats())
+	}
+	checkEquivalence(t, e, x, gnn.AggMax, "no-reset-prune")
+}
+
+// Ungrouped processing (Fig. 4d) must still be exact but must recompute
+// where grouping would have used the covered-reset fast path.
+func TestUngroupedForcesRecompute(t *testing.T) {
+	feats := [][]float32{
+		{0, 0, 0, 0},
+		{13, 13, 3, 2},
+		{11, 16, 12, 3},
+		{14, 16, 8, 1},
+		{15, 18, 14, 12}, // E covers D
+		{0, 0, 0, 0},
+	}
+	run := func(opts Options) (*Engine, *tensor.Matrix, *ConditionStats) {
+		e, x := fig4Engine(t, feats)
+		e.opts = opts
+		if err := e.Update(graph.Delta{{U: 0, V: 3}, {U: 0, V: 4, Insert: true}}); err != nil {
+			t.Fatal(err)
+		}
+		return e, x, e.Stats()
+	}
+	eg, xg, sg := run(Options{})
+	eu, _, su := run(Options{DisableGrouping: true})
+	if sg.Counts[CondCoveredReset] == 0 {
+		t.Errorf("grouped run should use covered reset: %v", sg)
+	}
+	if su.Counts[CondExposedReset] == 0 {
+		t.Errorf("ungrouped run should be forced to recompute: %v", su)
+	}
+	if !eg.State().Equal(eu.State()) {
+		t.Error("grouped and ungrouped runs disagree")
+	}
+	checkEquivalence(t, eg, xg, gnn.AggMax, "grouped")
+}
+
+// Accumulative layers never prune: every event-receiving node is visited
+// and classified accumulative.
+func TestAccumulativeNeverPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 80, 240)
+	x := tensor.RandMatrix(rng, 80, 5, 1)
+	e, err := New(buildModel(rng, "GCN", 5, gnn.AggMean), g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(graph.RandomDelta(rng, e.Graph(), 10)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Counts[CondPruned] != 0 || s.Counts[CondNoReset] != 0 || s.Counts[CondExposedReset] != 0 {
+		t.Errorf("accumulative run recorded monotonic conditions: %v", s)
+	}
+	if s.Counts[CondAccumulative] == 0 {
+		t.Errorf("no accumulative visits recorded: %v", s)
+	}
+}
+
+// Self-dependent models record self-only visits for nodes reached purely
+// through their own changed message. Such nodes exist only when every
+// affected in-neighbor went resilient in the previous layer, so we scan a
+// few seeds on a deep sparse GIN until one shows up.
+func TestSelfOnlyVisits(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 80, 100) // sparse: resilient neighbors likelier
+		x := tensor.RandMatrix(rng, 80, 5, 1)
+		e, err := New(gnn.NewGIN(rng, 5, 6, 4, gnn.NewAggregator(gnn.AggMax)), g, x, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Update(graph.RandomDelta(rng, e.Graph(), 4)); err != nil {
+			t.Fatal(err)
+		}
+		if e.Stats().Counts[CondSelfOnly] > 0 {
+			return // found the condition; mechanism works end to end
+		}
+	}
+	t.Error("no self-only visit found in 30 seeds; self-event delivery may be broken")
+}
+
+// Dropping the self-dependence hooks must eventually produce wrong results
+// for a self-dependent model: the hook is load-bearing, not decorative.
+func TestSelfHooksAreLoadBearing(t *testing.T) {
+	diverged := false
+	for seed := int64(0); seed < 30 && !diverged; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 80, 100)
+		x := tensor.RandMatrix(rng, 80, 5, 1)
+		model := gnn.NewGIN(rng, 5, 6, 4, gnn.NewAggregator(gnn.AggMax))
+		e, err := New(model, g, x, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.SetHooks(NopHooks{})
+		if err := e.Update(graph.RandomDelta(rng, e.Graph(), 4)); err != nil {
+			t.Fatal(err)
+		}
+		want, err := gnn.Infer(model, e.Graph(), x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.State().Equal(want) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("NopHooks never diverged on a self-dependent model in 30 seeds")
+	}
+}
+
+func TestConditionStatsHelpers(t *testing.T) {
+	var s ConditionStats
+	if s.Total() != 0 || s.Fraction(CondPruned) != 0 {
+		t.Error("empty stats must be zero")
+	}
+	s.Add(CondPruned)
+	s.Add(CondNoReset)
+	s.Add(CondNoReset)
+	s.Add(CondAccumulative)
+	if s.Total() != 4 {
+		t.Errorf("Total = %d", s.Total())
+	}
+	if got := s.Fraction(CondNoReset); got != 0.5 {
+		t.Errorf("Fraction = %g", got)
+	}
+	if got := s.Incremental(); got != 0.75 {
+		t.Errorf("Incremental = %g", got)
+	}
+	var o ConditionStats
+	o.Add(CondPruned)
+	s.Merge(&o)
+	if s.Counts[CondPruned] != 2 {
+		t.Error("Merge failed")
+	}
+	if s.String() == "" || (&ConditionStats{}).String() != "no visits" {
+		t.Error("String rendering")
+	}
+	for c := Condition(0); c < numConditions; c++ {
+		if c.String() == "" {
+			t.Errorf("condition %d has no name", c)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "Add" || OpDel.String() != "Del" || OpUpdate.String() != "Update" {
+		t.Error("Op names")
+	}
+}
+
+func TestNopHooks(t *testing.T) {
+	h := NopHooks{}
+	if h.Propagate(0, 1, nil, nil) != nil {
+		t.Error("NopHooks.Propagate must return nil")
+	}
+	evts := []UserEvent{{Target: 1}}
+	if got := h.Reduce(1, evts); len(got) != 1 {
+		t.Error("NopHooks.Reduce must pass through")
+	}
+	if h.Apply(0, 1, evts) {
+		t.Error("NopHooks.Apply must not force")
+	}
+}
+
+func TestSelfHooksReduceDedups(t *testing.T) {
+	h := SelfHooks{SelfDependent: func(int) bool { return true }}
+	evts := []UserEvent{{Target: 1}, {Target: 1}, {Target: 1}}
+	if got := h.Reduce(1, evts); len(got) != 1 {
+		t.Errorf("Reduce kept %d duplicates", len(got))
+	}
+	if !h.Apply(0, 1, evts) {
+		t.Error("SelfHooks.Apply must force recompute")
+	}
+	if got := h.Propagate(0, 7, nil, nil); len(got) != 1 || got[0].Target != 7 {
+		t.Errorf("Propagate = %v", got)
+	}
+}
+
+// Custom hooks: count propagations through a wrapping hook to show the
+// extension interface composes.
+type countingHooks struct {
+	UserHooks
+	propagations int
+}
+
+func (c *countingHooks) Propagate(l int, u graph.NodeID, oldM, newM tensor.Vector) []UserEvent {
+	c.propagations++
+	return c.UserHooks.Propagate(l, u, oldM, newM)
+}
+
+func TestCustomHooksWrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 5, 1)
+	e, err := New(buildModel(rng, "SAGE", 5, gnn.AggMax), g, x, nil, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := &countingHooks{UserHooks: e.hooks}
+	e.SetHooks(ch)
+	if err := e.Update(graph.RandomDelta(rng, e.Graph(), 6)); err != nil {
+		t.Fatal(err)
+	}
+	if ch.propagations == 0 {
+		t.Error("custom hook not invoked")
+	}
+	checkEquivalence(t, e, x, gnn.AggMax, "custom-hooks")
+}
+
+// Property-based stress: arbitrary seeds, sizes, models and aggregators —
+// the incremental state always matches recomputation across two batches.
+func TestQuickIncrementalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	f := func(seed int64, modelPick, kindPick uint8, deltaSize uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		g := randomGraph(rng, n, 2*n)
+		x := tensor.RandMatrix(rng, n, 4, 1)
+		kind := allKinds[int(kindPick)%len(allKinds)]
+		model := buildModel(rng, allModels[int(modelPick)%len(allModels)], 4, kind)
+		e, err := New(model, g, x, nil, Options{})
+		if err != nil {
+			return false
+		}
+		ds := 2 + int(deltaSize)%10
+		for b := 0; b < 2; b++ {
+			if err := e.Update(graph.RandomDelta(rng, e.Graph(), ds)); err != nil {
+				return false
+			}
+		}
+		want, err := gnn.Infer(model, e.Graph(), x, nil)
+		if err != nil {
+			return false
+		}
+		if kind == gnn.AggMax || kind == gnn.AggMin {
+			return e.State().Equal(want)
+		}
+		return e.State().ApproxEqual(want, 2e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,501 @@
+package inkstream
+
+import (
+	"fmt"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// Options tunes the engine. The zero value is the full InkStream algorithm;
+// the Disable* switches exist for the paper's ablation studies (Table VI
+// and DESIGN.md §4).
+type Options struct {
+	// DisablePruning turns off inter-layer pruned propagation (component 2
+	// in Table VI): resilient nodes keep propagating events, so the whole
+	// theoretical affected area is visited, as in InkStream-m(1).
+	DisablePruning bool
+	// DisableGrouping turns off event grouping (Fig. 4 ablation): each
+	// native event is applied individually in arrival order, forcing a
+	// conservative recompute whenever a lone deletion resets a channel.
+	// Processing falls back to sequential order.
+	DisableGrouping bool
+	// CopyPayloads disables payload sharing between events fanned out from
+	// one source (DESIGN.md §4.1): every event carries its own copy.
+	CopyPayloads bool
+	// Sequential disables intra-layer parallel processing of grouped
+	// targets.
+	Sequential bool
+	// Trace, when set, is invoked once per visited node per layer with
+	// the node's classification, after that layer completes (in sorted
+	// target order, from a single goroutine). For observability and
+	// debugging; keep it fast.
+	Trace func(layer int, node graph.NodeID, cond Condition)
+}
+
+// Engine holds the incrementally maintained inference state for one model
+// over one dynamic graph. Create it with New (which runs the initial full
+// inference) or NewFromState, then feed it ΔG batches via Update and
+// vertex-feature changes via UpdateVertices.
+type Engine struct {
+	model *gnn.Model
+	g     *graph.Graph
+	state *gnn.State
+	hooks UserHooks
+	c     *metrics.Counters
+	opts  Options
+	stats ConditionStats
+	// layerStats[l] restricts the condition statistics to layer l —
+	// Fig. 8's distribution resolved per layer (deeper layers prune more).
+	layerStats []ConditionStats
+
+	// Per-Apply scratch, valid only during one Apply call.
+	insArcs  map[[2]graph.NodeID]struct{}
+	degDelta map[graph.NodeID]int
+
+	// gr is the reusable epoch-stamped grouping table.
+	gr *grouper
+}
+
+// New bootstraps an engine with a full-graph inference over g and x (the
+// paper's "initial full graph inference" whose checkpoints are saved).
+// The graph is used (and mutated by Update) by reference.
+func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, c *metrics.Counters, opts Options) (*Engine, error) {
+	if err := CheckModel(model); err != nil {
+		return nil, err
+	}
+	state, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromState(model, g, state, c, opts)
+}
+
+// NewFromState wraps an existing checkpointed state (which must be
+// consistent with g). It installs the built-in self-dependence hooks; use
+// SetHooks to extend them.
+func NewFromState(model *gnn.Model, g *graph.Graph, state *gnn.State, c *metrics.Counters, opts Options) (*Engine, error) {
+	if err := CheckModel(model); err != nil {
+		return nil, err
+	}
+	if state.NumNodes() != g.NumNodes() {
+		return nil, fmt.Errorf("inkstream: state for %d nodes, graph has %d", state.NumNodes(), g.NumNodes())
+	}
+	e := &Engine{model: model, g: g, state: state, c: c, opts: opts}
+	e.hooks = SelfHooks{SelfDependent: func(l int) bool {
+		return l < model.NumLayers() && model.Layers[l].SelfDependent()
+	}}
+	e.gr = newGrouper(g.NumNodes())
+	e.layerStats = make([]ConditionStats, model.NumLayers())
+	return e, nil
+}
+
+func checkNorms(model *gnn.Model) error {
+	for l := range model.Layers {
+		if n := model.Norm(l); n != nil && !n.IsFrozen {
+			return fmt.Errorf("inkstream: layer %d has exact-mode GraphNorm; incremental updates require frozen statistics (Sec. II-E) — call Freeze first", l)
+		}
+	}
+	return nil
+}
+
+// CheckModel verifies the paper's expressiveness conditions (Sec. II):
+// (1) every layer's update reads only the node's own message and
+// aggregated neighborhood — guaranteed by the gnn.Layer interface shape,
+// except for exact-mode GraphNorm, which couples all vertices and must be
+// frozen; and (2) every aggregation function is at least partially
+// reversible, so old contributions can be cancelled (std-like functions
+// are rejected). New and NewFromState run this check automatically.
+func CheckModel(model *gnn.Model) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	for l, layer := range model.Layers {
+		if !layer.Agg().Reversible() {
+			return fmt.Errorf("inkstream: layer %d (%s) uses an irreversible aggregation function %s; incremental updates cannot cancel old contributions (expressiveness condition 2)",
+				l, layer.Name(), layer.Agg().Kind())
+		}
+	}
+	return checkNorms(model)
+}
+
+// SetHooks replaces the user-event hooks. The replacement must subsume the
+// self-dependence behaviour if the model needs it (wrap SelfHooks).
+func (e *Engine) SetHooks(h UserHooks) { e.hooks = h }
+
+// State exposes the maintained checkpoints (read-only by convention).
+func (e *Engine) State() *gnn.State { return e.state }
+
+// Graph exposes the maintained graph (read-only by convention; mutate it
+// only through Update).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Model returns the model under inference.
+func (e *Engine) Model() *gnn.Model { return e.model }
+
+// Stats returns the cumulative per-condition visit statistics.
+func (e *Engine) Stats() *ConditionStats { return &e.stats }
+
+// LayerStats returns the cumulative condition statistics restricted to
+// layer l.
+func (e *Engine) LayerStats(l int) *ConditionStats { return &e.layerStats[l] }
+
+// ResetStats clears the condition statistics (total and per layer).
+func (e *Engine) ResetStats() {
+	e.stats = ConditionStats{}
+	for l := range e.layerStats {
+		e.layerStats[l] = ConditionStats{}
+	}
+}
+
+// Output returns the maintained final-layer embeddings.
+func (e *Engine) Output() *tensor.Matrix { return e.state.Output() }
+
+// Verify recomputes the full inference from scratch over the current graph
+// and input features and compares it against the maintained state — a
+// debugging aid for deployments. Monotonic-only models must match
+// bit-for-bit; models with any accumulative layer are checked within tol
+// (pass 0 to force the bit-exact comparison).
+func (e *Engine) Verify(tol float32) error {
+	want, err := gnn.Infer(e.model, e.g, e.state.H[0], nil)
+	if err != nil {
+		return err
+	}
+	exact := true
+	for _, layer := range e.model.Layers {
+		if !layer.Agg().Monotonic() {
+			exact = false
+			break
+		}
+	}
+	if exact || tol <= 0 {
+		if !e.state.Equal(want) {
+			return fmt.Errorf("inkstream: state diverged from recomputation (output max diff %g)",
+				e.state.Output().MaxAbsDiff(want.Output()))
+		}
+		return nil
+	}
+	if !e.state.ApproxEqual(want, tol) {
+		return fmt.Errorf("inkstream: state diverged beyond tol %g (output max diff %g)",
+			tol, e.state.Output().MaxAbsDiff(want.Output()))
+	}
+	return nil
+}
+
+// Refresh re-anchors the cache by recomputing the full inference over the
+// current graph and features. Monotonic aggregators never need this (they
+// are bit-exact); accumulative aggregators accumulate floating-point drift
+// across many incremental batches, and deployments can Refresh on the same
+// cadence as the paper's periodic retraining to bound it. Counters are not
+// charged (it is maintenance, not serving work).
+func (e *Engine) Refresh() error {
+	state, err := gnn.Infer(e.model, e.g, e.state.H[0], nil)
+	if err != nil {
+		return err
+	}
+	e.state = state
+	return nil
+}
+
+// Update applies one ΔG batch of edge insertions/removals and incrementally
+// refreshes the cached state (Algorithm 1). On validation error the graph
+// and state are unchanged.
+func (e *Engine) Update(delta graph.Delta) error { return e.Apply(delta, nil) }
+
+// UpdateVertices applies vertex-feature updates (Sec. II-F).
+func (e *Engine) UpdateVertices(ups []VertexUpdate) error { return e.Apply(nil, ups) }
+
+// Apply processes edge changes and vertex-feature updates as one batch
+// between two timestamps.
+func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
+	if err := delta.Validate(e.g); err != nil {
+		return err
+	}
+	if err := e.validateVertexUpdates(vups); err != nil {
+		return err
+	}
+	L := e.model.NumLayers()
+
+	// Snapshot m⁻_{l,u} for every layer for the sources of removed arcs:
+	// their Del payloads must be the previous-timestamp messages even if
+	// the source is updated while processing an earlier layer. Taken
+	// before any mutation.
+	oldMsg := e.snapshotRemovedSources(delta)
+
+	// Record which arcs are inserted (propagation from an affected source
+	// skips them — the changed-edge event carries the new message already)
+	// and per-node in-degree deltas (the mean aggregator's incremental
+	// formula needs the previous degree).
+	e.insArcs = make(map[[2]graph.NodeID]struct{})
+	e.degDelta = make(map[graph.NodeID]int)
+	defer func() { e.insArcs, e.degDelta = nil, nil }()
+	for _, ch := range delta {
+		for _, a := range e.arcsOf(ch) {
+			if ch.Insert {
+				e.insArcs[a] = struct{}{}
+				e.degDelta[a[1]]++
+			} else {
+				e.degDelta[a[1]]--
+			}
+		}
+	}
+
+	if err := delta.Apply(e.g); err != nil {
+		return err // unreachable after Validate, but fail safe
+	}
+
+	// Vertex updates produce the initial layer-0 events.
+	carried, carriedUser := e.applyVertexUpdates(vups)
+
+	for l := 0; l < L; l++ {
+		e.gr.begin(e.model.Layers[l].MsgDim())
+		e.enqueueChangedEdges(e.gr, l, delta, oldMsg)
+		for _, ev := range carried {
+			e.c.FetchVec(len(ev.Payload))
+			e.gr.addNative(ev)
+		}
+		for _, ev := range carriedUser {
+			e.gr.addUser(ev)
+		}
+		groups := e.gr.finish(e.hooks)
+		carried, carriedUser = e.processLayer(l, groups)
+	}
+	return nil
+}
+
+// arcsOf expands a logical edge change into its directed arcs.
+func (e *Engine) arcsOf(ch graph.EdgeChange) [][2]graph.NodeID {
+	if e.g.Undirected {
+		return [][2]graph.NodeID{{ch.U, ch.V}, {ch.V, ch.U}}
+	}
+	return [][2]graph.NodeID{{ch.U, ch.V}}
+}
+
+// snapshotRemovedSources clones the pre-batch message rows of every removed
+// arc's source node at every layer.
+func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]tensor.Vector {
+	L := e.model.NumLayers()
+	out := make([]map[graph.NodeID]tensor.Vector, L)
+	for l := range out {
+		out[l] = make(map[graph.NodeID]tensor.Vector)
+	}
+	for _, ch := range delta {
+		if ch.Insert {
+			continue
+		}
+		for _, a := range e.arcsOf(ch) {
+			src := a[0]
+			for l := 0; l < L; l++ {
+				if _, ok := out[l][src]; !ok {
+					out[l][src] = e.state.M[l].Row(int(src)).Clone()
+				}
+			}
+		}
+	}
+	return out
+}
+
+// enqueueChangedEdges creates the layer-l events for ΔG (Sec. II-B2,
+// "Propagate for changed edges"): for a removed arc (u,v) an event
+// cancelling the old message m⁻_{l,u} at v; for an inserted arc (s,t) an
+// event adding the current message m_{l,s} — which the previous layer's
+// processing has already refreshed if s was affected.
+func (e *Engine) enqueueChangedEdges(gr *grouper, l int, delta graph.Delta, oldMsg []map[graph.NodeID]tensor.Vector) {
+	agg := e.model.Layers[l].Agg()
+	dim := e.model.Layers[l].MsgDim()
+	negCache := make(map[graph.NodeID]tensor.Vector)
+	for _, ch := range delta {
+		for _, a := range e.arcsOf(ch) {
+			src, dst := a[0], a[1]
+			var ev Event
+			switch {
+			case agg.Monotonic() && ch.Insert:
+				ev = Event{Op: OpAdd, Target: dst, Payload: e.payload(e.state.M[l].Row(int(src)))}
+			case agg.Monotonic():
+				ev = Event{Op: OpDel, Target: dst, Payload: e.payload(oldMsg[l][src])}
+			case ch.Insert:
+				ev = Event{Op: OpUpdate, Target: dst, Payload: e.payload(e.state.M[l].Row(int(src)))}
+			default:
+				neg, ok := negCache[src]
+				if !ok {
+					neg = make(tensor.Vector, dim)
+					tensor.Scale(neg, -1, oldMsg[l][src])
+					negCache[src] = neg
+				}
+				ev = Event{Op: OpUpdate, Target: dst, Payload: neg}
+			}
+			e.c.FetchVec(dim)
+			gr.addNative(ev)
+		}
+	}
+}
+
+// payload returns p, or a private copy when payload sharing is ablated.
+func (e *Engine) payload(p tensor.Vector) tensor.Vector {
+	if e.opts.CopyPayloads {
+		return p.Clone()
+	}
+	return p
+}
+
+// processLayer consumes the grouped events of layer l: it updates each
+// target's α (incrementally where eligible), recomputes the layer output
+// for affected targets, and emits the next layer's events. Targets are
+// independent after grouping, so they are processed in parallel; results
+// are merged in sorted-target order for determinism.
+func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
+	outN := make([][]Event, len(groups))
+	outU := make([][]UserEvent, len(groups))
+	conds := make([]Condition, len(groups))
+	body := func(lo, hi int) {
+		// Per-chunk scratch: one allocation set per worker chunk instead
+		// of per target.
+		sc := newScratch(e.model.Layers[l])
+		for i := lo; i < hi; i++ {
+			outN[i], outU[i], conds[i] = e.processTarget(l, groups[i], sc)
+		}
+	}
+	if e.opts.Sequential || e.opts.DisableGrouping {
+		body(0, len(groups))
+	} else {
+		tensor.ParallelFor(len(groups), body)
+	}
+	var nextN []Event
+	var nextU []UserEvent
+	for i := range groups {
+		nextN = append(nextN, outN[i]...)
+		nextU = append(nextU, outU[i]...)
+		e.stats.Add(conds[i])
+		e.layerStats[l].Add(conds[i])
+		if e.opts.Trace != nil {
+			e.opts.Trace(l, groups[i].target, conds[i])
+		}
+	}
+	return nextN, nextU
+}
+
+// scratch is the per-worker-chunk temporary storage of processTarget: the
+// staged layer output, the reduced deletion/addition messages and the
+// staged α. Contents never survive one target.
+type scratch struct {
+	newH               tensor.Vector
+	mDel, mAdd, staged tensor.Vector
+}
+
+func newScratch(layer gnn.Layer) *scratch {
+	return &scratch{
+		newH:   make(tensor.Vector, layer.OutDim()),
+		mDel:   make(tensor.Vector, layer.MsgDim()),
+		mAdd:   make(tensor.Vector, layer.MsgDim()),
+		staged: make(tensor.Vector, layer.MsgDim()),
+	}
+}
+
+// processTarget handles all events heading to one node in one layer:
+// Algorithm 1 lines 4–21 plus the user-hook application and the next-layer
+// propagation of Sec. II-B2.
+func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevts []UserEvent, cond Condition) {
+	layer := e.model.Layers[l]
+	agg := layer.Agg()
+	u := g.target
+	e.c.VisitNode()
+	e.c.AddEvents(len(g.dels) + len(g.adds) + g.nUpd + len(g.user))
+
+	alphaChanged := false
+	cond = CondSelfOnly
+	if g.hasNative() {
+		if agg.Monotonic() {
+			if e.opts.DisableGrouping {
+				alphaChanged, cond = e.applyMonotonicUngrouped(l, g, sc)
+			} else {
+				alphaChanged, cond = e.applyMonotonic(l, g, sc)
+			}
+		} else {
+			e.applyAccumulative(l, g)
+			alphaChanged = true
+			cond = CondAccumulative
+		}
+	}
+	force := false
+	if len(g.user) > 0 {
+		force = e.hooks.Apply(l, u, g.user)
+	}
+
+	affected := alphaChanged || force
+	if e.opts.DisablePruning && g.hasNative() {
+		affected = true
+	}
+	if !affected {
+		if g.hasNative() {
+			cond = CondPruned
+		}
+		return nil, nil, cond
+	}
+
+	// Recompute the layer output h_{l+1,u} = act(𝒯(α, m)) from the
+	// (possibly updated) α and the node's own current message.
+	hRow := e.state.H[l+1].Row(int(u))
+	newH := sc.newH
+	layer.Update(newH, e.state.Alpha[l].Row(int(u)), e.state.M[l].Row(int(u)))
+	if n := e.model.Norm(l); n != nil {
+		n.ApplyRow(newH)
+	}
+	gnn.CountUpdate(e.c, layer)
+	hChanged := !newH.Equal(hRow)
+	copy(hRow, newH)
+	e.c.StoreVec(len(hRow))
+
+	if !hChanged && !e.opts.DisablePruning {
+		// The embedding survived the α change (e.g. clamped by ReLU):
+		// the node is resilient at the output level; prune.
+		return nil, nil, cond
+	}
+	if l+1 >= e.model.NumLayers() {
+		return nil, nil, cond
+	}
+
+	// Refresh the node's next-layer message and fan out events. oldM (and
+	// the fan-out diff) escape into event payloads shared by every event
+	// from this node, so they are real per-node allocations — the paper's
+	// one-payload-per-source memory model.
+	next := e.model.Layers[l+1]
+	mRow := e.state.M[l+1].Row(int(u))
+	oldM := mRow.Clone()
+	next.ComputeMessage(mRow, hRow)
+	gnn.CountMessage(e.c, next)
+	if oldM.Equal(mRow) && !e.opts.DisablePruning {
+		return nil, nil, cond
+	}
+	evts = e.fanOut(u, next.Agg(), oldM, mRow)
+	uevts = e.hooks.Propagate(l, u, oldM, mRow)
+	return evts, uevts, cond
+}
+
+// fanOut builds the next-layer events from node u to its current
+// out-neighbors, skipping arcs inserted in this batch (their changed-edge
+// events already carry the new message — the duplicate-event rule of
+// Sec. II-B2).
+func (e *Engine) fanOut(u graph.NodeID, nextAgg gnn.Aggregator, oldM, newM tensor.Vector) []Event {
+	nbrs := e.g.OutNeighbors(u)
+	evts := make([]Event, 0, 2*len(nbrs))
+	var diff tensor.Vector
+	if !nextAgg.Monotonic() {
+		diff = make(tensor.Vector, len(newM))
+		tensor.Sub(diff, newM, oldM)
+	}
+	for _, v := range nbrs {
+		if _, skip := e.insArcs[[2]graph.NodeID{u, v}]; skip {
+			continue
+		}
+		if nextAgg.Monotonic() {
+			evts = append(evts,
+				Event{Op: OpDel, Target: v, Payload: e.payload(oldM)},
+				Event{Op: OpAdd, Target: v, Payload: e.payload(newM)})
+		} else {
+			evts = append(evts, Event{Op: OpUpdate, Target: v, Payload: e.payload(diff)})
+		}
+	}
+	return evts
+}

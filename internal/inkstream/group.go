@@ -1,0 +1,156 @@
+package inkstream
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// group collects every event heading to one target node in one layer
+// (Sec. II-B1). Monotonic layers keep the raw Del/Add payload lists (the
+// reset-condition check needs them reduced but the recompute fallback does
+// not); accumulative layers are reduced on the fly into a running sum.
+type group struct {
+	target graph.NodeID
+	// Monotonic payloads.
+	dels, adds []tensor.Vector
+	// Accumulative running sum; nil until the first OpUpdate event. nUpd
+	// counts the folded OpUpdate events. sumBuf retains the allocation
+	// across epochs.
+	sum    tensor.Vector
+	sumBuf tensor.Vector
+	nUpd   int
+	// User events routed to hooks.
+	user []UserEvent
+}
+
+// reset clears a recycled group for a new target, keeping slice capacity.
+func (g *group) reset(target graph.NodeID) {
+	g.target = target
+	g.dels = g.dels[:0]
+	g.adds = g.adds[:0]
+	g.sum = nil
+	g.nUpd = 0
+	g.user = g.user[:0]
+}
+
+// ensureSum activates the zeroed running sum of dimension dim, reusing the
+// retained buffer when it fits.
+func (g *group) ensureSum(dim int) {
+	if cap(g.sumBuf) < dim {
+		g.sumBuf = make(tensor.Vector, dim)
+	}
+	g.sum = g.sumBuf[:dim]
+	for i := range g.sum {
+		g.sum[i] = 0
+	}
+}
+
+// hasNative reports whether any native (non-user) event targeted the node.
+func (g *group) hasNative() bool {
+	return len(g.dels) > 0 || len(g.adds) > 0 || g.sum != nil
+}
+
+// grouper performs the grouping pass: it buckets a layer's event list by
+// target node and reduces per-target where possible. It is an engine-owned
+// epoch-stamped table: the per-node index array is reused across layers
+// and Apply calls without clearing (the stamp distinguishes epochs), and
+// group structs — including their payload-slice and sum-buffer capacity —
+// are recycled from a freelist, so steady-state grouping does not allocate
+// and involves no map operations. Grouping is the per-event hot path.
+type grouper struct {
+	stamp []uint32
+	idx   []int32
+	epoch uint32
+
+	groups []*group // freelist; groups[:used] are live this epoch
+	used   int
+	dim    int
+}
+
+func newGrouper(n int) *grouper {
+	return &grouper{
+		stamp: make([]uint32, n),
+		idx:   make([]int32, n),
+	}
+}
+
+// begin opens a new epoch for a layer whose messages have the given
+// dimension.
+func (gr *grouper) begin(dim int) {
+	gr.epoch++
+	gr.used = 0
+	gr.dim = dim
+}
+
+// ensure grows the per-node tables after AddNode.
+func (gr *grouper) ensure(n int) {
+	for len(gr.stamp) < n {
+		gr.stamp = append(gr.stamp, 0)
+		gr.idx = append(gr.idx, 0)
+	}
+}
+
+func (gr *grouper) get(target graph.NodeID) *group {
+	if gr.stamp[target] == gr.epoch {
+		return gr.groups[gr.idx[target]]
+	}
+	gr.stamp[target] = gr.epoch
+	gr.idx[target] = int32(gr.used)
+	var g *group
+	if gr.used < len(gr.groups) {
+		g = gr.groups[gr.used]
+	} else {
+		g = &group{}
+		gr.groups = append(gr.groups, g)
+	}
+	gr.used++
+	g.reset(target)
+	return g
+}
+
+// addNative folds one native event into its target's group. For OpUpdate
+// the payload is summed immediately — the paper's reduction of same-
+// operation events — so the group holds one vector regardless of fan-in.
+func (gr *grouper) addNative(e Event) {
+	g := gr.get(e.Target)
+	switch e.Op {
+	case OpAdd:
+		g.adds = append(g.adds, e.Payload)
+	case OpDel:
+		g.dels = append(g.dels, e.Payload)
+	case OpUpdate:
+		if g.sum == nil {
+			g.ensureSum(gr.dim)
+		}
+		tensor.Add(g.sum, g.sum, e.Payload)
+		g.nUpd++
+	}
+}
+
+// addUser buckets one user event.
+func (gr *grouper) addUser(e UserEvent) {
+	g := gr.get(e.Target)
+	g.user = append(g.user, e)
+}
+
+// finish returns the epoch's per-target groups sorted by target ID,
+// applying the user-hook reduction. Sorting makes the whole engine
+// deterministic for a fixed worker count: groups are processed in chunks
+// of this order and their emitted events concatenated in the same order.
+func (gr *grouper) finish(hooks UserHooks) []*group {
+	live := gr.groups[:gr.used]
+	sort.Slice(live, func(i, j int) bool { return live[i].target < live[j].target })
+	// Re-sync the index array with the sorted freelist order so get()
+	// stays coherent if more events arrive within this epoch.
+	for i, g := range live {
+		gr.idx[g.target] = int32(i)
+	}
+	for _, g := range live {
+		if len(g.user) > 0 {
+			g.user = hooks.Reduce(g.target, g.user)
+		}
+	}
+	return live
+}

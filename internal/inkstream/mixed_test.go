@@ -1,0 +1,130 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// mixedModel builds a model whose layers use different aggregation
+// functions — the engine creates each layer's events with that layer's
+// operation type, so monotonic and accumulative layers can interleave.
+func mixedModel(rng *rand.Rand, featLen int, kinds ...gnn.AggKind) *gnn.Model {
+	m := &gnn.Model{Name: "mixed"}
+	in := featLen
+	for i, k := range kinds {
+		act := gnn.ActReLU
+		if i == len(kinds)-1 {
+			act = gnn.ActIdentity
+		}
+		m.Layers = append(m.Layers, gnn.NewGCNLayer(rng, "mix", in, 8, gnn.NewAggregator(k), act))
+		in = 8
+	}
+	return m
+}
+
+// Mixed monotonic/accumulative stacks must stay equivalent to full
+// recomputation: events for a max layer are Add/Del, for a mean layer
+// Update, within the same propagation wave.
+func TestMixedAggregatorEquivalence(t *testing.T) {
+	stacks := [][]gnn.AggKind{
+		{gnn.AggMax, gnn.AggMean},
+		{gnn.AggMean, gnn.AggMax},
+		{gnn.AggSum, gnn.AggMin, gnn.AggMax},
+		{gnn.AggMin, gnn.AggSum, gnn.AggMean},
+	}
+	for _, kinds := range stacks {
+		kinds := kinds
+		name := ""
+		for _, k := range kinds {
+			name += k.String() + "-"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			g := randomGraph(rng, 50, 150)
+			x := tensor.RandMatrix(rng, 50, 6, 1)
+			model := mixedModel(rng, 6, kinds...)
+			e, err := New(model, g, x, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batch := 0; batch < 3; batch++ {
+				if err := e.Update(graph.RandomDelta(rng, e.Graph(), 10)); err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+			}
+			want, err := gnn.Infer(model, e.Graph(), x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Any accumulative layer in the stack makes downstream values
+			// fp-reassociated; use the tolerance path.
+			if !e.State().ApproxEqual(want, 2e-3) {
+				t.Fatalf("mixed stack diverged (max diff %g)",
+					e.State().Output().MaxAbsDiff(want.Output()))
+			}
+		})
+	}
+}
+
+// A pure-monotonic mixed stack (max feeding min) stays bit-identical.
+func TestMixedMonotonicBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 5, 1)
+	model := mixedModel(rng, 5, gnn.AggMax, gnn.AggMin)
+	e, err := New(model, g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 3; batch++ {
+		if err := e.Update(graph.RandomDelta(rng, e.Graph(), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := gnn.Infer(model, e.Graph(), x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.State().Equal(want) {
+		t.Fatal("max→min stack not bit-identical")
+	}
+}
+
+// Directed graphs: aggregation pulls from in-neighbors only, propagation
+// follows out-arcs only.
+func TestDirectedGraphEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	g := graph.New(40)
+	for g.NumEdges() < 120 {
+		u := graph.NodeID(rng.Intn(40))
+		v := graph.NodeID(rng.Intn(40))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := tensor.RandMatrix(rng, 40, 5, 1)
+	model := buildModel(rng, "GCN", 5, gnn.AggMax)
+	e, err := New(model, g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 3; batch++ {
+		if err := e.Update(graph.RandomDelta(rng, e.Graph(), 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := gnn.Infer(model, e.Graph(), x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.State().Equal(want) {
+		t.Fatal("directed-graph update diverged")
+	}
+}

@@ -1,0 +1,177 @@
+package inkstream
+
+import (
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// applyMonotonic implements Sec. II-C1: the grouped events heading to one
+// target are reduced, the effect on the old aggregated neighborhood is
+// classified into no reset / covered reset / exposed reset, and the target
+// is updated incrementally in the first two conditions or recomputed from
+// its whole neighborhood in the third. Returns whether α actually changed
+// and the classification.
+func (e *Engine) applyMonotonic(l int, g *group, sc *scratch) (changed bool, cond Condition) {
+	layer := e.model.Layers[l]
+	agg := layer.Agg()
+	alpha := e.state.Alpha[l].Row(int(g.target))
+	dim := len(alpha)
+	e.c.FetchVec(dim)
+	e.c.AddFLOPs(int64(dim * (len(g.dels) + len(g.adds))))
+
+	// α⁻ of a previously isolated node is the *defined* zero vector, not a
+	// monotonic aggregation result; merging into it would be unsound, so
+	// the first edges of such a node force a (trivially cheap) recompute.
+	if e.g.InDegree(g.target)-e.degDelta[g.target] == 0 {
+		before := alpha.Clone()
+		e.recomputeAlpha(l, g.target, alpha)
+		return !alpha.Equal(before), CondExposedReset
+	}
+
+	mDel := reduceInto(sc.mDel, agg.Merge, g.dels)
+	mAdd := reduceInto(sc.mAdd, agg.Merge, g.adds)
+
+	// Reset channels: indices where a deleted message attains the old
+	// extremum. Because the deleted messages are a subset of the
+	// neighborhood α⁻ aggregates, only the reduced deletion can attain it.
+	hasReset := false
+	if mDel != nil {
+		for i := range alpha {
+			if alpha[i] == mDel[i] {
+				hasReset = true
+				break
+			}
+		}
+	}
+
+	switch {
+	case !hasReset:
+		cond = CondNoReset
+	case mAdd != nil && covers(agg, alpha, mAdd, mDel):
+		cond = CondCoveredReset
+	default:
+		// Exposed reset: irrecoverable channels; fetch the whole current
+		// neighborhood and recompute (Algorithm 1 line 11).
+		e.recomputeAlpha(l, g.target, alpha)
+		return true, CondExposedReset
+	}
+
+	if mAdd == nil {
+		// Deletion-only with no reset: α is untouched.
+		return false, cond
+	}
+	newAlpha := sc.staged
+	copy(newAlpha, alpha)
+	agg.Merge(newAlpha, mAdd)
+	e.c.AddFLOPs(int64(dim))
+	changed = !newAlpha.Equal(alpha)
+	if changed {
+		copy(alpha, newAlpha)
+		e.c.StoreVec(dim)
+	}
+	return changed, cond
+}
+
+// reduceInto reduces a payload list into the provided scratch vector;
+// returns nil for an empty list.
+func reduceInto(dst tensor.Vector, merge func(dst, m tensor.Vector), payloads []tensor.Vector) tensor.Vector {
+	if len(payloads) == 0 {
+		return nil
+	}
+	copy(dst, payloads[0])
+	for _, p := range payloads[1:] {
+		merge(dst, p)
+	}
+	return dst
+}
+
+// covers reports whether the reduced added message dominates the reduced
+// deleted message on every reset channel (α⁻[i] == m⁻_A[i]) — the
+// covered-reset condition: ∀ i ∈ D, 𝒜(m⁻_A[i], m_A[i]) = m_A[i]. By the
+// transitivity of the monotonic function, dominating the deleted extremum
+// implies dominating every surviving neighbor on those channels.
+func covers(agg gnn.Aggregator, alpha, mAdd, mDel tensor.Vector) bool {
+	max := agg.Kind() == gnn.AggMax
+	for i := range alpha {
+		if alpha[i] != mDel[i] {
+			continue
+		}
+		if max {
+			if mAdd[i] < mDel[i] {
+				return false
+			}
+		} else if mAdd[i] > mDel[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recomputeAlpha rebuilds α_{l,u} from the current neighborhood and cached
+// messages: α = 𝒜(m_{l,v} : v ∈ N(u)). No extra computation is needed for
+// the messages themselves — rows of m_l for neighbors affected at layer
+// l−1 were refreshed when that layer was processed.
+func (e *Engine) recomputeAlpha(l int, u graph.NodeID, alpha tensor.Vector) {
+	layer := e.model.Layers[l]
+	agg := layer.Agg()
+	nbrs := e.g.InNeighbors(u)
+	agg.Identity(alpha)
+	m := e.state.M[l]
+	for _, v := range nbrs {
+		agg.Merge(alpha, m.Row(int(v)))
+	}
+	agg.Finalize(alpha, len(nbrs))
+	dim := len(alpha)
+	e.c.FetchVec(dim * len(nbrs))
+	e.c.AddFLOPs(int64(dim * len(nbrs)))
+	e.c.StoreVec(dim)
+}
+
+// applyMonotonicUngrouped is the grouping-ablation path (Fig. 4d): events
+// are applied one at a time in arrival order. A deletion that resets any
+// channel cannot see the not-yet-applied additions, so it conservatively
+// recomputes the whole neighborhood — correct (monotonic aggregation over
+// the post-ΔG neighborhood is idempotent under re-addition) but costly.
+func (e *Engine) applyMonotonicUngrouped(l int, g *group, sc *scratch) (changed bool, cond Condition) {
+	layer := e.model.Layers[l]
+	agg := layer.Agg()
+	alpha := e.state.Alpha[l].Row(int(g.target))
+	dim := len(alpha)
+	before := sc.staged
+	copy(before, alpha)
+	recomputed := false
+	if e.g.InDegree(g.target)-e.degDelta[g.target] == 0 {
+		// See applyMonotonic: a previously empty neighborhood cannot be
+		// evolved incrementally.
+		e.recomputeAlpha(l, g.target, alpha)
+		return !alpha.Equal(before), CondExposedReset
+	}
+	for _, d := range g.dels {
+		e.c.FetchVec(dim)
+		needReset := false
+		for i := range alpha {
+			if alpha[i] == d[i] {
+				needReset = true
+				break
+			}
+		}
+		if needReset {
+			e.recomputeAlpha(l, g.target, alpha)
+			recomputed = true
+		}
+	}
+	for _, a := range g.adds {
+		e.c.FetchVec(dim)
+		agg.Merge(alpha, a)
+		e.c.AddFLOPs(int64(dim))
+	}
+	changed = !alpha.Equal(before)
+	if changed {
+		e.c.StoreVec(dim)
+	}
+	if recomputed {
+		return changed, CondExposedReset
+	}
+	return changed, CondNoReset
+}

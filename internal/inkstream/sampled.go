@@ -1,0 +1,179 @@
+package inkstream
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// SampledEngine supports graph sampling under incremental updates
+// (Sec. II-E, "Sampling"): inference runs over a sampled subgraph whose
+// structure is known before each timestamp, and the difference between the
+// previous and current sampled neighborhoods is replayed into the engine
+// as a list of edge removals and insertions.
+//
+// The sampler is a *stable bottom-k* neighbor sampler: each node keeps the
+// fanout neighbors with the smallest deterministic hash. Stability means a
+// ΔG batch only perturbs the samples of nodes whose full neighborhood
+// changed, keeping the replayed diff small — the cached-structure
+// comparison the paper describes.
+type SampledEngine struct {
+	full   *graph.Graph
+	eng    *Engine
+	fanout int
+	seed   int64
+}
+
+// NewSampled bootstraps a sampled engine: it materialises the bottom-k
+// subgraph of full and runs the initial inference over it. The full graph
+// is used (and mutated by Update) by reference.
+func NewSampled(model *gnn.Model, full *graph.Graph, x *tensor.Matrix, fanout int, seed int64, c *metrics.Counters, opts Options) (*SampledEngine, error) {
+	if fanout < 1 {
+		return nil, fmt.Errorf("inkstream: sampler fanout %d < 1", fanout)
+	}
+	s := &SampledEngine{full: full, fanout: fanout, seed: seed}
+	sampled := graph.New(full.NumNodes())
+	for u := 0; u < full.NumNodes(); u++ {
+		for _, v := range s.sampleOf(graph.NodeID(u)) {
+			if err := sampled.AddEdge(v, graph.NodeID(u)); err != nil {
+				return nil, fmt.Errorf("inkstream: sampler: %w", err)
+			}
+		}
+	}
+	eng, err := New(model, sampled, x, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// Engine exposes the underlying engine (running over the sampled graph).
+func (s *SampledEngine) Engine() *Engine { return s.eng }
+
+// FullGraph exposes the maintained full graph.
+func (s *SampledEngine) FullGraph() *graph.Graph { return s.full }
+
+// Output returns the maintained final-layer embeddings.
+func (s *SampledEngine) Output() *tensor.Matrix { return s.eng.Output() }
+
+// Fanout returns the per-node sample size.
+func (s *SampledEngine) Fanout() int { return s.fanout }
+
+// sampleOf returns u's current bottom-k in-neighborhood sample, sorted by
+// node ID for deterministic diffing.
+func (s *SampledEngine) sampleOf(u graph.NodeID) []graph.NodeID {
+	nbrs := s.full.InNeighbors(u)
+	if len(nbrs) <= s.fanout {
+		out := append([]graph.NodeID(nil), nbrs...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	type ranked struct {
+		v graph.NodeID
+		h uint64
+	}
+	rs := make([]ranked, len(nbrs))
+	for i, v := range nbrs {
+		rs[i] = ranked{v, edgeHash(s.seed, u, v)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].h != rs[j].h {
+			return rs[i].h < rs[j].h
+		}
+		return rs[i].v < rs[j].v
+	})
+	out := make([]graph.NodeID, s.fanout)
+	for i := range out {
+		out[i] = rs[i].v
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// edgeHash is a splitmix64-style deterministic hash of (seed, dst, src).
+func edgeHash(seed int64, u, v graph.NodeID) uint64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(uint32(u))<<32 ^ uint64(uint32(v))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Update applies ΔG to the full graph, recomputes the bottom-k samples of
+// every node whose full neighborhood changed, and feeds the sample diff to
+// the engine as arc removals and insertions.
+func (s *SampledEngine) Update(delta graph.Delta) error {
+	if err := delta.Validate(s.full); err != nil {
+		return err
+	}
+	// Nodes whose in-neighborhood changes.
+	dirty := map[graph.NodeID]struct{}{}
+	for _, ch := range delta {
+		dirty[ch.V] = struct{}{}
+		if s.full.Undirected {
+			dirty[ch.U] = struct{}{}
+		}
+	}
+	before := make(map[graph.NodeID][]graph.NodeID, len(dirty))
+	for u := range dirty {
+		before[u] = s.sampleOf(u)
+	}
+	if err := delta.Apply(s.full); err != nil {
+		return err
+	}
+	var diff graph.Delta
+	for u := range dirty {
+		after := s.sampleOf(u)
+		diff = append(diff, sampleDiff(u, before[u], after)...)
+	}
+	// Deterministic replay order.
+	sort.Slice(diff, func(i, j int) bool {
+		if diff[i].V != diff[j].V {
+			return diff[i].V < diff[j].V
+		}
+		return diff[i].U < diff[j].U
+	})
+	if len(diff) == 0 {
+		return nil
+	}
+	if err := s.eng.Update(diff); err != nil {
+		// The engine graph is now out of sync with the full graph; this
+		// can only happen on an internal bug, so surface loudly.
+		return fmt.Errorf("inkstream: sampled replay failed: %w", err)
+	}
+	return nil
+}
+
+// UpdateVertices forwards vertex-feature updates directly: sampling only
+// affects structure.
+func (s *SampledEngine) UpdateVertices(ups []VertexUpdate) error {
+	return s.eng.UpdateVertices(ups)
+}
+
+// sampleDiff turns two sorted samples of node u into arc changes (src ->
+// u) for the engine's directed sampled graph.
+func sampleDiff(u graph.NodeID, old, new []graph.NodeID) graph.Delta {
+	var d graph.Delta
+	i, j := 0, 0
+	for i < len(old) || j < len(new) {
+		switch {
+		case j >= len(new) || (i < len(old) && old[i] < new[j]):
+			d = append(d, graph.EdgeChange{U: old[i], V: u, Insert: false})
+			i++
+		case i >= len(old) || new[j] < old[i]:
+			d = append(d, graph.EdgeChange{U: new[j], V: u, Insert: true})
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return d
+}

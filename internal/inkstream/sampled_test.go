@@ -1,0 +1,206 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// rebuildSampled constructs the bottom-k sampled graph from scratch for
+// cross-checking incremental sample maintenance.
+func rebuildSampled(t *testing.T, s *SampledEngine) *graph.Graph {
+	t.Helper()
+	g := graph.New(s.full.NumNodes())
+	for u := 0; u < s.full.NumNodes(); u++ {
+		for _, v := range s.sampleOf(graph.NodeID(u)) {
+			if err := g.AddEdge(v, graph.NodeID(u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return g
+}
+
+func TestSampledEngineBootstrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	full := randomGraph(rng, 60, 400) // dense: sampling bites
+	x := tensor.RandMatrix(rng, 60, 5, 1)
+	model := buildModel(rng, "GCN", 5, gnn.AggMax)
+	s, err := NewSampled(model, full, x, 4, 7, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fanout() != 4 {
+		t.Error("fanout accessor")
+	}
+	for u := 0; u < 60; u++ {
+		deg := s.Engine().Graph().InDegree(graph.NodeID(u))
+		if deg > 4 {
+			t.Fatalf("node %d sampled in-degree %d > fanout", u, deg)
+		}
+		fullDeg := full.InDegree(graph.NodeID(u))
+		if fullDeg <= 4 && deg != fullDeg {
+			t.Fatalf("node %d: low-degree node must keep all %d neighbors, has %d", u, fullDeg, deg)
+		}
+	}
+}
+
+func TestSampledEngineRejectsBadFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	full := randomGraph(rng, 10, 20)
+	x := tensor.RandMatrix(rng, 10, 4, 1)
+	model := buildModel(rng, "GCN", 4, gnn.AggMax)
+	if _, err := NewSampled(model, full, x, 0, 1, nil, Options{}); err == nil {
+		t.Error("fanout 0 accepted")
+	}
+}
+
+// The core property (Sec. II-E): after any stream of updates, the engine's
+// incrementally maintained graph equals the bottom-k sample rebuilt from
+// scratch, and its state equals full inference over that sample.
+func TestSampledEngineEquivalence(t *testing.T) {
+	for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggMean} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			full := randomGraph(rng, 80, 600)
+			x := tensor.RandMatrix(rng, 80, 5, 1)
+			model := buildModel(rng, "SAGE", 5, kind)
+			s, err := NewSampled(model, full, x, 5, 11, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batch := 0; batch < 4; batch++ {
+				delta := graph.RandomDelta(rng, s.FullGraph(), 12)
+				if err := s.Update(delta); err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				// Structure: maintained sample == from-scratch sample.
+				want := rebuildSampled(t, s)
+				got := s.Engine().Graph()
+				if got.NumArcs() != want.NumArcs() {
+					t.Fatalf("batch %d: sampled arcs %d, want %d", batch, got.NumArcs(), want.NumArcs())
+				}
+				for _, e := range want.Edges() {
+					if !got.HasEdge(e[0], e[1]) {
+						t.Fatalf("batch %d: maintained sample missing arc %v", batch, e)
+					}
+				}
+				// State: engine state == full inference over the sample.
+				ref, err := gnn.Infer(model, want, x, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if kind == gnn.AggMax {
+					if !s.Engine().State().Equal(ref) {
+						t.Fatalf("batch %d: sampled state not bit-identical", batch)
+					}
+				} else if !s.Engine().State().ApproxEqual(ref, 2e-3) {
+					t.Fatalf("batch %d: sampled state diverged", batch)
+				}
+			}
+		})
+	}
+}
+
+// Sampling stability: an update far from a node must not change its
+// sample (the property that keeps replayed diffs small).
+func TestSampledEngineStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	full := randomGraph(rng, 100, 700)
+	x := tensor.RandMatrix(rng, 100, 4, 1)
+	model := buildModel(rng, "GCN", 4, gnn.AggMax)
+	s, err := NewSampled(model, full, x, 5, 13, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeSamples := map[graph.NodeID][]graph.NodeID{}
+	for u := graph.NodeID(0); u < 100; u++ {
+		beforeSamples[u] = s.sampleOf(u)
+	}
+	delta := graph.RandomDelta(rng, s.FullGraph(), 4)
+	dirty := map[graph.NodeID]bool{}
+	for _, c := range delta {
+		dirty[c.U], dirty[c.V] = true, true
+	}
+	if err := s.Update(delta); err != nil {
+		t.Fatal(err)
+	}
+	for u := graph.NodeID(0); u < 100; u++ {
+		if dirty[u] {
+			continue
+		}
+		after := s.sampleOf(u)
+		if len(after) != len(beforeSamples[u]) {
+			t.Fatalf("clean node %d sample size changed", u)
+		}
+		for i := range after {
+			if after[i] != beforeSamples[u][i] {
+				t.Fatalf("clean node %d sample changed", u)
+			}
+		}
+	}
+}
+
+func TestSampledEngineVertexUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	full := randomGraph(rng, 50, 300)
+	x := tensor.RandMatrix(rng, 50, 4, 1)
+	model := buildModel(rng, "GIN", 4, gnn.AggMax)
+	s, err := NewSampled(model, full, x, 4, 17, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFeat := tensor.RandVector(rng, 4, 1)
+	if err := s.UpdateVertices([]VertexUpdate{{Node: 9, X: newFeat}}); err != nil {
+		t.Fatal(err)
+	}
+	x2 := x.Clone()
+	x2.SetRow(9, newFeat)
+	ref, err := gnn.Infer(model, rebuildSampled(t, s), x2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Engine().State().Equal(ref) {
+		t.Error("vertex update through sampler diverged")
+	}
+}
+
+func TestSampledEngineRejectsInvalidDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	full := randomGraph(rng, 20, 60)
+	x := tensor.RandMatrix(rng, 20, 4, 1)
+	model := buildModel(rng, "GCN", 4, gnn.AggMax)
+	s, err := NewSampled(model, full, x, 3, 19, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := s.FullGraph().NumEdges()
+	if err := s.Update(graph.Delta{{U: 0, V: 0, Insert: true}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if s.FullGraph().NumEdges() != edges {
+		t.Error("failed update mutated full graph")
+	}
+}
+
+func TestSampleDiff(t *testing.T) {
+	d := sampleDiff(9,
+		[]graph.NodeID{1, 3, 5},
+		[]graph.NodeID{1, 4, 5, 7})
+	want := map[string]bool{"del(3,9)": true, "ins(4,9)": true, "ins(7,9)": true}
+	if len(d) != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	for _, c := range d {
+		if !want[c.String()] {
+			t.Errorf("unexpected change %v", c)
+		}
+	}
+	if len(sampleDiff(1, nil, nil)) != 0 {
+		t.Error("empty diff expected")
+	}
+}

@@ -1,0 +1,184 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestVerifyCleanEngine(t *testing.T) {
+	for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggMean} {
+		rng := rand.New(rand.NewSource(1))
+		g := randomGraph(rng, 40, 120)
+		x := tensor.RandMatrix(rng, 40, 5, 1)
+		e, err := New(buildModel(rng, "GCN", 5, kind), g, x, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Update(graph.RandomDelta(rng, e.Graph(), 8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Verify(2e-3); err != nil {
+			t.Errorf("%v: healthy engine failed verification: %v", kind, err)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 30, 90)
+	x := tensor.RandMatrix(rng, 30, 5, 1)
+	e, err := New(buildModel(rng, "GCN", 5, gnn.AggMax), g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one cached α value.
+	e.State().Alpha[1].Set(3, 0, 1e6)
+	if err := e.Verify(0); err == nil {
+		t.Error("corrupted state passed verification")
+	}
+}
+
+// Per-layer statistics sum to the total, and a k-layer GIN accumulates
+// visits in deeper layers too.
+func TestLayerStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 60, 180)
+	x := tensor.RandMatrix(rng, 60, 5, 1)
+	model := gnn.NewGIN(rng, 5, 8, 3, gnn.NewAggregator(gnn.AggMax))
+	e, err := New(model, g, x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(graph.RandomDelta(rng, e.Graph(), 10)); err != nil {
+		t.Fatal(err)
+	}
+	var sum ConditionStats
+	for l := 0; l < model.NumLayers(); l++ {
+		sum.Merge(e.LayerStats(l))
+	}
+	if sum != *e.Stats() {
+		t.Errorf("layer stats sum %v != total %v", sum.String(), e.Stats())
+	}
+	if e.LayerStats(0).Total() == 0 {
+		t.Error("layer 0 saw no visits")
+	}
+	e.ResetStats()
+	for l := 0; l < model.NumLayers(); l++ {
+		if e.LayerStats(l).Total() != 0 {
+			t.Error("ResetStats left per-layer residue")
+		}
+	}
+}
+
+// Long-horizon drift: accumulative aggregators drift across many batches
+// (fp reassociation); Refresh re-anchors the cache exactly, and monotonic
+// aggregators never drift at all.
+func TestDriftAndRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGraph(rng, 60, 180)
+	x := tensor.RandMatrix(rng, 60, 5, 1)
+
+	mean, err := New(buildModel(rng, "GCN", 5, gnn.AggMean), g.Clone(), x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxE, err := New(buildModel(rng, "GCN", 5, gnn.AggMax), g.Clone(), x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 30; batch++ {
+		d := graph.RandomDelta(rng, mean.Graph(), 6)
+		if err := mean.Update(append(graph.Delta(nil), d...)); err != nil {
+			t.Fatal(err)
+		}
+		if err := maxE.Update(append(graph.Delta(nil), d...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Monotonic: still bit-exact after 30 batches.
+	if err := maxE.Verify(0); err != nil {
+		t.Fatalf("monotonic drifted: %v", err)
+	}
+	// Accumulative: small drift tolerated, eliminated by Refresh.
+	if err := mean.Verify(5e-2); err != nil {
+		t.Fatalf("accumulative drifted beyond loose tolerance: %v", err)
+	}
+	if err := mean.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mean.Verify(0); err != nil {
+		t.Fatalf("Refresh did not re-anchor exactly: %v", err)
+	}
+	// The engine keeps serving correctly after a refresh.
+	if err := mean.Update(graph.RandomDelta(rng, mean.Graph(), 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mean.Verify(2e-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The trace hook sees exactly the visits the statistics count, in
+// deterministic layer-then-target order.
+func TestTraceHook(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 5, 1)
+	type visit struct {
+		layer int
+		node  graph.NodeID
+		cond  Condition
+	}
+	var trace []visit
+	opts := Options{Trace: func(l int, n graph.NodeID, c Condition) {
+		trace = append(trace, visit{l, n, c})
+	}}
+	e, err := New(buildModel(rng, "GCN", 5, gnn.AggMax), g, x, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(graph.RandomDelta(rng, e.Graph(), 8)); err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(trace)) != e.Stats().Total() {
+		t.Fatalf("trace has %d entries, stats count %d", len(trace), e.Stats().Total())
+	}
+	var byCond ConditionStats
+	for i, v := range trace {
+		byCond.Add(v.cond)
+		if i > 0 && trace[i-1].layer == v.layer && trace[i-1].node >= v.node {
+			t.Fatal("trace not in sorted target order within a layer")
+		}
+		if i > 0 && trace[i-1].layer > v.layer {
+			t.Fatal("trace not in layer order")
+		}
+	}
+	if byCond != *e.Stats() {
+		t.Errorf("trace conditions %v != stats %v", byCond.String(), e.Stats())
+	}
+}
+
+// GraphConv (the generality demo model) flows through the incremental
+// engine unchanged and stays exact.
+func TestGraphConvThroughEngine(t *testing.T) {
+	for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggSum} {
+		rng := rand.New(rand.NewSource(3))
+		g := randomGraph(rng, 50, 150)
+		x := tensor.RandMatrix(rng, 50, 5, 1)
+		model := gnn.NewGraphConv(rng, 5, 8, gnn.NewAggregator(kind))
+		e, err := New(model, g, x, nil, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 3; batch++ {
+			if err := e.Update(graph.RandomDelta(rng, e.Graph(), 10)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		checkEquivalence(t, e, x, kind, "graphconv/"+kind.String())
+	}
+}

@@ -1,0 +1,92 @@
+package inkstream
+
+import (
+	"fmt"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// VertexUpdate replaces the input feature vector of one node (Sec. II-F).
+type VertexUpdate struct {
+	Node graph.NodeID
+	X    tensor.Vector
+}
+
+func (e *Engine) validateVertexUpdates(ups []VertexUpdate) error {
+	seen := make(map[graph.NodeID]struct{}, len(ups))
+	for i, up := range ups {
+		if int(up.Node) < 0 || int(up.Node) >= e.g.NumNodes() {
+			return fmt.Errorf("inkstream: vertex update %d: %w (%d)", i, graph.ErrBadNode, up.Node)
+		}
+		if len(up.X) != e.model.InDim() {
+			return fmt.Errorf("inkstream: vertex update %d: feature dim %d, model wants %d", i, len(up.X), e.model.InDim())
+		}
+		if _, dup := seen[up.Node]; dup {
+			return fmt.Errorf("inkstream: vertex update %d: node %d updated twice in one batch", i, up.Node)
+		}
+		seen[up.Node] = struct{}{}
+	}
+	return nil
+}
+
+// applyVertexUpdates writes the new features, refreshes the first-layer
+// messages, and produces the initial layer-0 events: the effect of a new
+// feature x_u is the replacement of m_{1,u} in the paper's 1-based
+// numbering — here m_0 — propagated to u's neighbors and, for
+// self-dependent first layers, to u itself via the hooks.
+func (e *Engine) applyVertexUpdates(ups []VertexUpdate) ([]Event, []UserEvent) {
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	layer0 := e.model.Layers[0]
+	var evts []Event
+	var uevts []UserEvent
+	for _, up := range ups {
+		e.state.H[0].SetRow(int(up.Node), up.X)
+		mRow := e.state.M[0].Row(int(up.Node))
+		oldM := mRow.Clone()
+		layer0.ComputeMessage(mRow, up.X)
+		gnn.CountMessage(e.c, layer0)
+		if oldM.Equal(mRow) {
+			continue
+		}
+		evts = append(evts, e.fanOut(up.Node, layer0.Agg(), oldM, mRow)...)
+		uevts = append(uevts, e.hooks.Propagate(-1, up.Node, oldM, mRow)...)
+	}
+	return evts, uevts
+}
+
+// AddNode grows the graph and every cached matrix by one isolated vertex
+// with feature x, returning its ID. The new node's checkpoints are
+// computed layer by layer (its neighborhood is empty, so α is the zero
+// vector at every layer). Connect it afterwards with Update and inserted
+// edges. Must not be called concurrently with Apply.
+func (e *Engine) AddNode(x tensor.Vector) (graph.NodeID, error) {
+	if len(x) != e.model.InDim() {
+		return 0, fmt.Errorf("inkstream: AddNode feature dim %d, model wants %d", len(x), e.model.InDim())
+	}
+	id := e.g.AddNode()
+	e.gr.ensure(e.g.NumNodes())
+	s := e.state
+	s.H[0].AppendRow(x)
+	h := x
+	for l, layer := range e.model.Layers {
+		m := make(tensor.Vector, layer.MsgDim())
+		layer.ComputeMessage(m, h)
+		s.M[l].AppendRow(m)
+		alpha := make(tensor.Vector, layer.MsgDim())
+		layer.Agg().Identity(alpha)
+		layer.Agg().Finalize(alpha, 0)
+		s.Alpha[l].AppendRow(alpha)
+		next := make(tensor.Vector, layer.OutDim())
+		layer.Update(next, alpha, m)
+		if n := e.model.Norm(l); n != nil {
+			n.ApplyRow(next)
+		}
+		s.H[l+1].AppendRow(next)
+		h = next
+	}
+	return id, nil
+}

@@ -1,0 +1,36 @@
+package lightgcn_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/lightgcn"
+	"repro/internal/tensor"
+)
+
+// A tiny user–item graph: embeddings propagate with 1/√(dᵤ·dᵥ) weights and
+// new interactions update them incrementally — including the re-weighting
+// of every edge at an endpoint whose degree changed.
+func ExampleEngine() {
+	g := graph.NewUndirected(4) // users 0,1; items 2,3
+	for _, e := range [][2]graph.NodeID{{0, 2}, {1, 2}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	x := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 1}, {0, 2}})
+	e, err := lightgcn.New(g, x, 2, nil)
+	if err != nil {
+		panic(err)
+	}
+	// User 0 interacts with item 3: d(0) and d(3) change, re-weighting
+	// all of their incident edges.
+	if err := e.Update(graph.Delta{{U: 0, V: 3, Insert: true}}); err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", e.Graph().NumEdges())
+	fmt.Printf("user 0 embedding dim: %d\n", len(e.Output().Row(0)))
+	// Output:
+	// edges: 4
+	// user 0 embedding dim: 2
+}

@@ -1,0 +1,260 @@
+package lightgcn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func randomGraph(rng *rand.Rand, n, edges int) *graph.Graph {
+	g := graph.NewUndirected(n)
+	for g.NumEdges() < edges {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// reference computes LightGCN propagation from scratch.
+func reference(g *graph.Graph, x *tensor.Matrix, k int) (layers []*tensor.Matrix, out *tensor.Matrix) {
+	n := g.NumNodes()
+	inv := make([]float32, n)
+	for u := 0; u < n; u++ {
+		d := g.InDegree(graph.NodeID(u))
+		if d > 0 {
+			inv[u] = float32(1 / math.Sqrt(float64(d)))
+		}
+	}
+	layers = []*tensor.Matrix{x.Clone()}
+	cur := layers[0]
+	for l := 0; l < k; l++ {
+		next := tensor.NewMatrix(n, x.Cols)
+		for u := 0; u < n; u++ {
+			dst := next.Row(u)
+			for _, v := range g.InNeighbors(graph.NodeID(u)) {
+				tensor.Axpy(dst, inv[v], cur.Row(int(v)))
+			}
+			tensor.Scale(dst, inv[u], dst)
+		}
+		layers = append(layers, next)
+		cur = next
+	}
+	out = tensor.NewMatrix(n, x.Cols)
+	for u := 0; u < n; u++ {
+		dst := out.Row(u)
+		for _, m := range layers {
+			tensor.Add(dst, dst, m.Row(u))
+		}
+		tensor.Scale(dst, 1/float32(k+1), dst)
+	}
+	return layers, out
+}
+
+func TestBootstrapMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 6, 1)
+	e, err := New(g, x, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers, out := reference(g, x, 3)
+	for l := 0; l <= 3; l++ {
+		if !e.Layer(l).ApproxEqual(layers[l], 1e-5) {
+			t.Fatalf("layer %d diverged (max diff %g)", l, e.Layer(l).MaxAbsDiff(layers[l]))
+		}
+	}
+	if !e.Output().ApproxEqual(out, 1e-5) {
+		t.Fatalf("output diverged (max diff %g)", e.Output().MaxAbsDiff(out))
+	}
+	if e.Layers() != 3 {
+		t.Error("Layers accessor")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 10, 20)
+	x := tensor.RandMatrix(rng, 10, 4, 1)
+	if _, err := New(g, x, 0, nil); err == nil {
+		t.Error("layers=0 accepted")
+	}
+	if _, err := New(g, tensor.NewMatrix(9, 4), 2, nil); err == nil {
+		t.Error("row mismatch accepted")
+	}
+}
+
+// Headline property: incremental updates equal full recomputation — the
+// weighted-sum case of the paper's expressiveness claim.
+func TestUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 60, 180)
+	x := tensor.RandMatrix(rng, 60, 5, 1)
+	var c metrics.Counters
+	e, err := New(g, x, 3, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 4; batch++ {
+		delta := graph.RandomDelta(rng, e.Graph(), 10)
+		if err := e.Update(delta); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		layers, out := reference(e.Graph(), x, 3)
+		for l := 0; l <= 3; l++ {
+			if !e.Layer(l).ApproxEqual(layers[l], 2e-3) {
+				t.Fatalf("batch %d layer %d diverged (max diff %g)",
+					batch, l, e.Layer(l).MaxAbsDiff(layers[l]))
+			}
+		}
+		if !e.Output().ApproxEqual(out, 2e-3) {
+			t.Fatalf("batch %d output diverged (max diff %g)", batch, e.Output().MaxAbsDiff(out))
+		}
+	}
+	if c.Snapshot().NodesVisited == 0 {
+		t.Error("counters not populated")
+	}
+}
+
+// Degree re-weighting is the hard part: inserting an edge at a hub must
+// re-weight every message the hub sends.
+func TestUpdateReweightsHub(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Star around node 0 plus a few satellite edges.
+	g := graph.NewUndirected(8)
+	for i := graph.NodeID(1); i < 7; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := tensor.RandMatrix(rng, 8, 3, 1)
+	e, err := New(g, x, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connect node 7 to the hub: d_0 goes 6 -> 7, changing the weight of
+	// every (0, i) edge.
+	if err := e.Update(graph.Delta{{U: 0, V: 7, Insert: true}}); err != nil {
+		t.Fatal(err)
+	}
+	_, out := reference(e.Graph(), x, 2)
+	if !e.Output().ApproxEqual(out, 1e-4) {
+		t.Fatalf("hub reweighting diverged (max diff %g)", e.Output().MaxAbsDiff(out))
+	}
+}
+
+func TestUpdateIsolatesNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.NewUndirected(5)
+	for _, ed := range [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 2}, {3, 4}} {
+		if err := g.AddEdge(ed[0], ed[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := tensor.RandMatrix(rng, 5, 3, 1)
+	e, err := New(g, x, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update(graph.Delta{{U: 0, V: 1}, {U: 0, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	_, out := reference(e.Graph(), x, 2)
+	if !e.Output().ApproxEqual(out, 1e-4) {
+		t.Fatalf("isolation diverged (max diff %g)", e.Output().MaxAbsDiff(out))
+	}
+	// An isolated node's propagated layers are zero; its output is its
+	// own features averaged with zeros.
+	want := x.Row(0).Clone()
+	tensor.Scale(want, 1.0/3, want)
+	if !e.Output().Row(0).ApproxEqual(want, 1e-4) {
+		t.Errorf("isolated output %v, want %v", e.Output().Row(0), want)
+	}
+}
+
+func TestUpdateRejectsInvalidDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGraph(rng, 20, 40)
+	x := tensor.RandMatrix(rng, 20, 4, 1)
+	e, err := New(g, x, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Output().Clone()
+	if err := e.Update(graph.Delta{{U: 3, V: 3, Insert: true}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if !e.Output().Equal(before) {
+		t.Error("failed update mutated output")
+	}
+}
+
+func TestUpdateVertex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 30, 90)
+	x := tensor.RandMatrix(rng, 30, 4, 1)
+	e, err := New(g, x, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := tensor.RandVector(rng, 4, 1)
+	if err := e.UpdateVertex(5, feat); err != nil {
+		t.Fatal(err)
+	}
+	x2 := x.Clone()
+	x2.SetRow(5, feat)
+	_, out := reference(e.Graph(), x2, 3)
+	if !e.Output().ApproxEqual(out, 1e-3) {
+		t.Fatalf("vertex update diverged (max diff %g)", e.Output().MaxAbsDiff(out))
+	}
+	// Validation.
+	if err := e.UpdateVertex(99, feat); err == nil {
+		t.Error("bad node accepted")
+	}
+	if err := e.UpdateVertex(1, tensor.NewVector(3)); err == nil {
+		t.Error("bad dim accepted")
+	}
+	// No-op update (same features) is accepted and changes nothing.
+	before := e.Output().Clone()
+	if err := e.UpdateVertex(5, feat.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Output().Equal(before) {
+		t.Error("no-op vertex update changed output")
+	}
+}
+
+// Property: random graphs × random deltas stay equivalent.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(seed int64, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + int(k8)%3
+		g := randomGraph(rng, 30, 80)
+		x := tensor.RandMatrix(rng, 30, 4, 1)
+		e, err := New(g, x, k, nil)
+		if err != nil {
+			return false
+		}
+		for b := 0; b < 2; b++ {
+			if err := e.Update(graph.RandomDelta(rng, e.Graph(), 6)); err != nil {
+				return false
+			}
+		}
+		_, out := reference(e.Graph(), x, k)
+		return e.Output().ApproxEqual(out, 5e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

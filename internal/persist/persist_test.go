@@ -1,0 +1,234 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/tensor"
+)
+
+func randomGraph(rng *rand.Rand, n, edges int) *graph.Graph {
+	g := graph.NewUndirected(n)
+	for g.NumEdges() < edges {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func models(rng *rand.Rand) []*gnn.Model {
+	withNorm := gnn.NewGCN(rng, 6, 8, gnn.NewAggregator(gnn.AggMean))
+	withNorm.Norms = []*gnn.GraphNorm{gnn.NewGraphNorm(8), nil}
+	withNorm.Norms[0].Freeze(tensor.RandMatrix(rng, 10, 8, 1))
+	return []*gnn.Model{
+		gnn.NewGCN(rng, 6, 8, gnn.NewAggregator(gnn.AggMax)),
+		gnn.NewSAGE(rng, 6, 8, gnn.NewAggregator(gnn.AggMin)),
+		gnn.NewGIN(rng, 6, 8, 3, gnn.NewAggregator(gnn.AggSum)),
+		withNorm,
+	}
+}
+
+// Round-trip property: a loaded model produces bit-identical inference to
+// the original on an arbitrary graph.
+func TestModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 30, 90)
+	x := tensor.RandMatrix(rng, 30, 6, 1)
+	for _, m := range models(rng) {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		m2, err := LoadModel(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if m2.Name != m.Name || m2.NumLayers() != m.NumLayers() {
+			t.Fatalf("%s: identity lost", m.Name)
+		}
+		for l := range m.Layers {
+			if m2.Layers[l].Name() != m.Layers[l].Name() ||
+				m2.Layers[l].Agg().Kind() != m.Layers[l].Agg().Kind() {
+				t.Fatalf("%s: layer %d identity lost", m.Name, l)
+			}
+		}
+		want, err := gnn.Infer(m, g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := gnn.Infer(m2, g, x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s: loaded model infers differently", m.Name)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(rng, 20, 60)
+	x := tensor.RandMatrix(rng, 20, 6, 1)
+	m := gnn.NewGIN(rng, 6, 8, 3, gnn.NewAggregator(gnn.AggMax))
+	s, err := gnn.Infer(m, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveState(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equal(s) {
+		t.Error("state round trip not bit-identical")
+	}
+}
+
+// The headline use case: persist a running engine, reload, keep updating —
+// no re-bootstrap, same results.
+func TestBundleResumesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 6, 1)
+	model := gnn.NewSAGE(rng, 6, 8, gnn.NewAggregator(gnn.AggMax))
+	eng, err := inkstream.New(model, g, x, nil, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Update(graph.RandomDelta(rng, eng.Graph(), 8)); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "engine.inkb")
+	if err := SaveBundleFile(path, eng.Graph(), model, eng.State()); err != nil {
+		t.Fatal(err)
+	}
+	g2, m2, s2, err := LoadBundleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := inkstream.NewFromState(m2, g2, s2, nil, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply the same delta to both engines; they must agree bit-for-bit.
+	delta := graph.RandomDelta(rng, eng.Graph(), 8)
+	if err := eng.Update(append(graph.Delta(nil), delta...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Update(append(graph.Delta(nil), delta...)); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.State().Equal(eng.State()) {
+		t.Error("resumed engine diverged from original")
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := randomGraph(rng, 10, 20)
+	m := gnn.NewGCN(rng, 4, 4, gnn.NewAggregator(gnn.AggMax))
+	// Node-count mismatch between state and graph.
+	s := gnn.NewState(m, 9)
+	if err := SaveBundle(&bytes.Buffer{}, g, m, s); err == nil {
+		t.Error("mismatched bundle accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := gnn.NewGCN(rng, 4, 4, gnn.NewAggregator(gnn.AggMax))
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad-magic":    []byte("XXXX\x01\x00\x00\x00"),
+		"truncated":    valid[:len(valid)/2],
+		"short-header": valid[:6],
+	}
+	for name, data := range cases {
+		if _, err := LoadModel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := LoadState(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: state accepted", name)
+		}
+		if _, _, _, err := LoadBundle(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: bundle accepted", name)
+		}
+	}
+	// Corrupt the aggregator kind byte.
+	mutated := append([]byte(nil), valid...)
+	// magic(4) + ver(4) + nameLen(4) + name(3 "GCN") + layers(4) + type(1) +
+	// nameLen(4) + name(6) = offset of agg byte.
+	off := 4 + 4 + 4 + 3 + 4 + 1 + 4 + 6
+	mutated[off] = 99
+	if _, err := LoadModel(bytes.NewReader(mutated)); err == nil {
+		t.Error("bad aggregator accepted")
+	}
+}
+
+// FuzzLoadModel: arbitrary bytes must never panic the loader.
+func FuzzLoadModel(f *testing.F) {
+	rng := rand.New(rand.NewSource(6))
+	for _, m := range models(rng) {
+		var buf bytes.Buffer
+		if err := SaveModel(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/3])
+	}
+	f.Add([]byte("INKM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadModel(bytes.NewReader(data))
+		if err == nil && m.Validate() != nil {
+			t.Fatal("loader returned invalid model without error")
+		}
+	})
+}
+
+func TestDatasetPlusBundleWorkflow(t *testing.T) {
+	// Generate once, persist dataset and engine bundle, reload both.
+	rng := rand.New(rand.NewSource(7))
+	spec := dataset.PubMed
+	spec.Scale *= 32
+	g, f := dataset.Generate(spec, 9)
+	model := gnn.NewGCN(rng, f.Dim(), 8, gnn.NewAggregator(gnn.AggMax))
+	eng, err := inkstream.New(model, g, f.X, nil, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := SaveBundleFile(filepath.Join(dir, "b.inkb"), eng.Graph(), model, eng.State()); err != nil {
+		t.Fatal(err)
+	}
+	g2, m2, s2, err := LoadBundleFile(filepath.Join(dir, "b.inkb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || m2.InDim() != f.Dim() || s2.NumNodes() != g.NumNodes() {
+		t.Error("bundle identity lost")
+	}
+}

@@ -1,0 +1,39 @@
+package scheduler_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/scheduler"
+)
+
+// printUpdater shows flushes as they happen.
+type printUpdater struct{}
+
+func (printUpdater) Update(d graph.Delta) error {
+	fmt.Printf("flushed batch of %d\n", len(d))
+	return nil
+}
+
+// Events are coalesced (an insert cancelled by a delete never reaches the
+// engine) and flushed in ΔG batches when the size policy triggers.
+func ExampleScheduler() {
+	s, err := scheduler.New(printUpdater{}, scheduler.Policy{MaxBatch: 3})
+	if err != nil {
+		panic(err)
+	}
+	submit := func(u, v graph.NodeID, insert bool) {
+		if _, err := s.Submit(graph.EdgeChange{U: u, V: v, Insert: insert}); err != nil {
+			panic(err)
+		}
+	}
+	submit(1, 2, true)
+	submit(1, 2, false) // cancels the insert: nothing pending
+	submit(3, 4, true)
+	submit(5, 6, true)
+	submit(7, 8, true) // third pending change: flush
+	fmt.Println("pending after flush:", s.Pending())
+	// Output:
+	// flushed batch of 3
+	// pending after flush: 0
+}

@@ -1,0 +1,169 @@
+// Package scheduler batches a continuous edge-event stream into ΔG
+// batches for an incremental engine. Fig. 7 of the paper quantifies the
+// trade-off this package manages: smaller batches keep each refresh in
+// the high-speedup regime (the affected area stays tiny) but spend more
+// fixed per-update overhead, while large batches amortise overhead but
+// push the update toward full-graph cost. The scheduler flushes pending
+// events when either a size threshold or a staleness deadline is reached,
+// bounding both refresh latency and result staleness.
+package scheduler
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Updater is the engine-side interface (satisfied by *inkstream.Engine).
+type Updater interface {
+	Update(delta graph.Delta) error
+}
+
+// Policy configures the flush conditions.
+type Policy struct {
+	// MaxBatch flushes when this many pending changes accumulate
+	// (<= 0 means size never triggers a flush).
+	MaxBatch int
+	// MaxStaleness flushes when the oldest pending change has waited this
+	// long (0 means staleness never triggers a flush; flushes then happen
+	// only via MaxBatch or explicit Flush calls).
+	MaxStaleness time.Duration
+}
+
+// Validate checks that at least one flush condition exists.
+func (p Policy) Validate() error {
+	if p.MaxBatch <= 0 && p.MaxStaleness <= 0 {
+		return fmt.Errorf("scheduler: policy needs MaxBatch or MaxStaleness")
+	}
+	return nil
+}
+
+// Stats reports scheduler activity.
+type Stats struct {
+	Submitted   int
+	Flushes     int
+	SizeFlushes int
+	TimeFlushes int
+	// Conflicts counts events dropped because they cancelled or duplicated
+	// a pending event on the same edge.
+	Conflicts int
+}
+
+// Scheduler coalesces and batches edge changes. Not safe for concurrent
+// use; callers serialise access (the HTTP server already holds a lock).
+type Scheduler struct {
+	policy  Policy
+	engine  Updater
+	now     func() time.Time
+	pending graph.Delta
+	// pendingIdx maps an undirected edge key to its index in pending, for
+	// conflict coalescing.
+	pendingIdx map[[2]graph.NodeID]int
+	oldest     time.Time
+	stats      Stats
+}
+
+// New builds a scheduler over an engine.
+func New(engine Updater, policy Policy) (*Scheduler, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		engine:     engine,
+		policy:     policy,
+		now:        time.Now,
+		pendingIdx: make(map[[2]graph.NodeID]int),
+	}, nil
+}
+
+// SetClock replaces the time source (tests).
+func (s *Scheduler) SetClock(now func() time.Time) { s.now = now }
+
+// Stats returns a copy of the activity counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Pending returns the number of buffered changes.
+func (s *Scheduler) Pending() int { return len(s.pending) }
+
+func edgeKey(u, v graph.NodeID) [2]graph.NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]graph.NodeID{u, v}
+}
+
+// Submit buffers one edge change, coalescing it against pending changes on
+// the same edge: an insert followed by a delete (or vice versa) cancels
+// out, and a duplicate operation is dropped. Returns whether a flush
+// happened and any flush error.
+func (s *Scheduler) Submit(ch graph.EdgeChange) (bool, error) {
+	s.stats.Submitted++
+	k := edgeKey(ch.U, ch.V)
+	if i, ok := s.pendingIdx[k]; ok {
+		s.stats.Conflicts++
+		if s.pending[i].Insert != ch.Insert {
+			// Cancel the pair: remove the pending entry.
+			s.removePending(i)
+		}
+		// Duplicate same-op changes are dropped either way.
+		return s.maybeFlush()
+	}
+	if len(s.pending) == 0 {
+		s.oldest = s.now()
+	}
+	s.pendingIdx[k] = len(s.pending)
+	s.pending = append(s.pending, ch)
+	return s.maybeFlush()
+}
+
+func (s *Scheduler) removePending(i int) {
+	last := len(s.pending) - 1
+	removed := s.pending[i]
+	delete(s.pendingIdx, edgeKey(removed.U, removed.V))
+	if i != last {
+		moved := s.pending[last]
+		s.pending[i] = moved
+		s.pendingIdx[edgeKey(moved.U, moved.V)] = i
+	}
+	s.pending = s.pending[:last]
+}
+
+// Tick checks the staleness deadline; call it periodically when no events
+// arrive. Returns whether a flush happened and any flush error.
+func (s *Scheduler) Tick() (bool, error) {
+	if len(s.pending) == 0 || s.policy.MaxStaleness <= 0 {
+		return false, nil
+	}
+	if s.now().Sub(s.oldest) >= s.policy.MaxStaleness {
+		s.stats.TimeFlushes++
+		return true, s.Flush()
+	}
+	return false, nil
+}
+
+func (s *Scheduler) maybeFlush() (bool, error) {
+	if s.policy.MaxBatch > 0 && len(s.pending) >= s.policy.MaxBatch {
+		s.stats.SizeFlushes++
+		return true, s.Flush()
+	}
+	if s.policy.MaxStaleness > 0 && len(s.pending) > 0 && s.now().Sub(s.oldest) >= s.policy.MaxStaleness {
+		s.stats.TimeFlushes++
+		return true, s.Flush()
+	}
+	return false, nil
+}
+
+// Flush applies all pending changes as one ΔG batch. On engine error the
+// batch is dropped (the error is surfaced; events that failed validation
+// cannot become applicable later).
+func (s *Scheduler) Flush() error {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	batch := s.pending
+	s.pending = nil
+	s.pendingIdx = make(map[[2]graph.NodeID]int)
+	s.stats.Flushes++
+	return s.engine.Update(batch)
+}

@@ -1,0 +1,330 @@
+// Package server exposes an InkStream engine as an HTTP service: a
+// long-running inference daemon that accepts streaming edge and
+// vertex-feature updates and serves always-fresh embeddings — the
+// "real-time inference in dynamic settings" deployment the paper targets.
+//
+// Endpoints:
+//
+//	POST /v1/update     {"changes":[{"u":1,"v":2,"insert":true}, …]}
+//	POST /v1/features   {"updates":[{"node":1,"x":[…]}, …]}
+//	GET  /v1/embedding?node=N
+//	GET  /v1/stats
+//	GET  /v1/healthz
+//
+// All mutations serialise on one engine lock; reads take the same lock
+// briefly to copy a row. The handlers never expose partial states.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/tensor"
+)
+
+// Server wraps an engine with HTTP handlers.
+type Server struct {
+	mu       sync.Mutex
+	engine   *inkstream.Engine
+	counters *metrics.Counters
+	updates  int64
+	batcher  *scheduler.Scheduler
+	journal  Journal
+}
+
+// Journal records every applied batch before it reaches the engine
+// (write-ahead logging); persist.WAL implements it. A journal Append
+// failure aborts the update, so a successful response implies the batch is
+// durable.
+type Journal interface {
+	Append(delta graph.Delta, vups []inkstream.VertexUpdate) error
+}
+
+// New wraps an engine; counters may be the same instance the engine
+// records into (or nil).
+func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
+	return &Server{engine: engine, counters: counters}
+}
+
+// SetJournal installs a write-ahead journal; call before serving.
+func (s *Server) SetJournal(j Journal) { s.journal = j }
+
+// applyDelta journals (when configured) and applies one edge batch; the
+// caller holds the lock.
+func (s *Server) applyDelta(d graph.Delta) error {
+	if s.journal != nil {
+		if err := s.journal.Append(d, nil); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return s.engine.Update(d)
+}
+
+// deltaApplier adapts applyDelta to scheduler.Updater.
+type deltaApplier struct{ s *Server }
+
+func (a deltaApplier) Update(d graph.Delta) error { return a.s.applyDelta(d) }
+
+// EnableBatching installs a scheduler for the /v1/submit endpoint: single
+// edge events are coalesced and flushed as ΔG batches per the policy —
+// the Fig. 7 latency/staleness trade-off made operational. Call before
+// serving. Callers should also run a periodic Tick (see Tick) so the
+// staleness deadline fires during quiet periods.
+func (s *Server) EnableBatching(p scheduler.Policy) error {
+	b, err := scheduler.New(deltaApplier{s}, p)
+	if err != nil {
+		return err
+	}
+	s.batcher = b
+	return nil
+}
+
+// Tick drives the batching staleness deadline; safe to call from a
+// background goroutine. No-op when batching is disabled.
+func (s *Server) Tick() error {
+	if s.batcher == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.batcher.Tick()
+	return err
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("POST /v1/features", s.handleFeatures)
+	mux.HandleFunc("GET /v1/embedding", s.handleEmbedding)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	return mux
+}
+
+// SubmitResponse reports the batching state after one /v1/submit event.
+type SubmitResponse struct {
+	Flushed bool `json:"flushed"`
+	Pending int  `json:"pending"`
+}
+
+// handleSubmit enqueues a single edge event into the batching scheduler.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.batcher == nil {
+		httpError(w, http.StatusNotImplemented, "batching not enabled; use /v1/update")
+		return
+	}
+	var ch EdgeChangeJSON
+	if err := json.NewDecoder(r.Body).Decode(&ch); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	flushed, err := s.batcher.Submit(graph.EdgeChange{U: ch.U, V: ch.V, Insert: ch.Insert})
+	if err == nil && flushed {
+		s.updates++
+	}
+	pending := s.batcher.Pending()
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
+		return
+	}
+	writeJSON(w, SubmitResponse{Flushed: flushed, Pending: pending})
+}
+
+// handleVerify recomputes the full inference and compares it against the
+// maintained state (Engine.Verify) — an operational self-check. It is a
+// POST because it is expensive.
+func (s *Server) handleVerify(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	t0 := time.Now()
+	err := s.engine.Verify(2e-3)
+	lat := time.Since(t0)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "verification failed: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "verified", "latency_ms": float64(lat.Microseconds()) / 1000})
+}
+
+// EdgeChangeJSON is one edge modification in the wire format.
+type EdgeChangeJSON struct {
+	U      int32 `json:"u"`
+	V      int32 `json:"v"`
+	Insert bool  `json:"insert"`
+}
+
+// UpdateRequest is the body of POST /v1/update.
+type UpdateRequest struct {
+	Changes []EdgeChangeJSON `json:"changes"`
+}
+
+// UpdateResponse reports the applied batch.
+type UpdateResponse struct {
+	Applied   int     `json:"applied"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Changes) == 0 {
+		httpError(w, http.StatusBadRequest, "empty change batch")
+		return
+	}
+	delta := make(graph.Delta, len(req.Changes))
+	for i, c := range req.Changes {
+		delta[i] = graph.EdgeChange{U: c.U, V: c.V, Insert: c.Insert}
+	}
+	s.mu.Lock()
+	t0 := time.Now()
+	err := s.applyDelta(delta)
+	lat := time.Since(t0)
+	if err == nil {
+		s.updates++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
+		return
+	}
+	writeJSON(w, UpdateResponse{Applied: len(delta), LatencyMS: float64(lat.Microseconds()) / 1000})
+}
+
+// FeatureUpdateJSON is one vertex-feature replacement in the wire format.
+type FeatureUpdateJSON struct {
+	Node int32     `json:"node"`
+	X    []float32 `json:"x"`
+}
+
+// FeaturesRequest is the body of POST /v1/features.
+type FeaturesRequest struct {
+	Updates []FeatureUpdateJSON `json:"updates"`
+}
+
+func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	var req FeaturesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "empty feature batch")
+		return
+	}
+	ups := make([]inkstream.VertexUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = inkstream.VertexUpdate{Node: u.Node, X: tensor.Vector(u.X)}
+	}
+	s.mu.Lock()
+	t0 := time.Now()
+	err := error(nil)
+	if s.journal != nil {
+		err = s.journal.Append(nil, ups)
+	}
+	if err == nil {
+		err = s.engine.UpdateVertices(ups)
+	}
+	lat := time.Since(t0)
+	if err == nil {
+		s.updates++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "applying features: %v", err)
+		return
+	}
+	writeJSON(w, UpdateResponse{Applied: len(ups), LatencyMS: float64(lat.Microseconds()) / 1000})
+}
+
+// EmbeddingResponse is the body of GET /v1/embedding.
+type EmbeddingResponse struct {
+	Node      int32     `json:"node"`
+	Embedding []float32 `json:"embedding"`
+}
+
+func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	nodeStr := r.URL.Query().Get("node")
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad node %q", nodeStr)
+		return
+	}
+	s.mu.Lock()
+	var row tensor.Vector
+	if node >= 0 && node < s.engine.Graph().NumNodes() {
+		row = s.engine.Output().Row(node).Clone()
+	}
+	s.mu.Unlock()
+	if row == nil {
+		httpError(w, http.StatusNotFound, "node %d out of range", node)
+		return
+	}
+	writeJSON(w, EmbeddingResponse{Node: int32(node), Embedding: row})
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Nodes         int              `json:"nodes"`
+	Edges         int              `json:"edges"`
+	UpdatesServed int64            `json:"updates_served"`
+	Conditions    map[string]int64 `json:"conditions"`
+	BytesFetched  int64            `json:"bytes_fetched"`
+	Events        int64            `json:"events_processed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatsResponse{
+		Nodes:         s.engine.Graph().NumNodes(),
+		Edges:         s.engine.Graph().NumEdges(),
+		UpdatesServed: s.updates,
+		Conditions:    map[string]int64{},
+	}
+	st := s.engine.Stats()
+	for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
+		if n := st.Counts[c]; n > 0 {
+			resp.Conditions[c.String()] = n
+		}
+	}
+	if s.counters != nil {
+		snap := s.counters.Snapshot()
+		resp.BytesFetched = snap.BytesFetched
+		resp.Events = snap.EventsProcessed
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Too late for a status change; the connection will just break.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

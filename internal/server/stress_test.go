@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Concurrent mixed traffic: readers and writers hammer the service at the
+// same time; the lock discipline must keep every response well-formed and
+// the final engine state exactly consistent. Run under -race in CI.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	ts, eng := newTestServer(t)
+	const writers, readers, opsEach = 3, 5, 15
+
+	// Pre-generate disjoint insert batches so writers never conflict.
+	rng := rand.New(rand.NewSource(33))
+	batches := make([][]EdgeChangeJSON, writers)
+	used := map[[2]graph.NodeID]bool{}
+	for w := range batches {
+		for len(batches[w]) < opsEach {
+			u := graph.NodeID(rng.Intn(200))
+			v := graph.NodeID(rng.Intn(200))
+			k := [2]graph.NodeID{min32(u, v), max32(u, v)}
+			if u == v || eng.Graph().HasEdge(u, v) || used[k] {
+				continue
+			}
+			used[k] = true
+			batches[w] = append(batches[w], EdgeChangeJSON{U: int32(u), V: int32(v), Insert: true})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*opsEach+readers*opsEach)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ch := range batches[w] {
+				resp := postJSONT(ts.URL+"/v1/update", UpdateRequest{Changes: []EdgeChangeJSON{ch}})
+				if resp != http.StatusOK {
+					errs <- fmt.Errorf("writer %d: status %d", w, resp)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/embedding?node=%d", ts.URL, (r*31+i)%200))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: status %d", r, resp.StatusCode)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// All writes landed and the state is exactly consistent.
+	if err := eng.Verify(0); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, b := range batches {
+		want += len(b)
+	}
+	applied := 0
+	for _, b := range batches {
+		for _, ch := range b {
+			if eng.Graph().HasEdge(graph.NodeID(ch.U), graph.NodeID(ch.V)) {
+				applied++
+			}
+		}
+	}
+	if applied != want {
+		t.Errorf("applied %d of %d writes", applied, want)
+	}
+}
+
+// postJSONT is a test-free variant of postJSON returning only the status.
+func postJSONT(url string, body any) int {
+	b, err := jsonMarshal(body)
+	if err != nil {
+		return -1
+	}
+	resp, err := http.Post(url, "application/json", b)
+	if err != nil {
+		return -1
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func min32(a, b graph.NodeID) graph.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b graph.NodeID) graph.NodeID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func jsonMarshal(v any) (io.Reader, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(b), nil
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import "fmt"
+
+// Axpy computes dst[i] += a*x[i]. dst and x must have equal dimension.
+func Axpy(dst Vector, a float32, x Vector) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: Axpy dim mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i := range dst {
+		dst[i] += a * x[i]
+	}
+}
+
+// Add computes dst[i] = a[i] + b[i].
+func Add(dst, a, b Vector) {
+	checkTriple("Add", dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst[i] = a[i] - b[i].
+func Sub(dst, a, b Vector) {
+	checkTriple("Sub", dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Scale computes dst[i] = a * x[i]. dst may alias x.
+func Scale(dst Vector, a float32, x Vector) {
+	if len(dst) != len(x) {
+		panic("tensor: Scale dim mismatch")
+	}
+	for i := range dst {
+		dst[i] = a * x[i]
+	}
+}
+
+// EltMax computes dst[i] = max(a[i], b[i]).
+func EltMax(dst, a, b Vector) {
+	checkTriple("EltMax", dst, a, b)
+	for i := range dst {
+		if a[i] >= b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+}
+
+// EltMin computes dst[i] = min(a[i], b[i]).
+func EltMin(dst, a, b Vector) {
+	checkTriple("EltMin", dst, a, b)
+	for i := range dst {
+		if a[i] <= b[i] {
+			dst[i] = a[i]
+		} else {
+			dst[i] = b[i]
+		}
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float32 {
+	if len(a) != len(b) {
+		panic("tensor: Dot dim mismatch")
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v Vector) float32 {
+	var s float32
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+func checkTriple(op string, dst, a, b Vector) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: %s dim mismatch %d/%d/%d", op, len(dst), len(a), len(b)))
+	}
+}
+
+// ReLU computes dst[i] = max(0, x[i]). dst may alias x.
+func ReLU(dst, x Vector) {
+	if len(dst) != len(x) {
+		panic("tensor: ReLU dim mismatch")
+	}
+	for i := range x {
+		if x[i] > 0 {
+			dst[i] = x[i]
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// Identity copies x into dst (the "no activation" function).
+func Identity(dst, x Vector) {
+	if len(dst) != len(x) {
+		panic("tensor: Identity dim mismatch")
+	}
+	copy(dst, x)
+}
+
+// Activation is an element-wise function applied at the end of a GNN
+// layer; dst and x always have the same dimension and may alias.
+type Activation func(dst, x Vector)
+
+// MatVec computes dst = m * x where x has dimension m.Cols and dst has
+// dimension m.Rows.
+func MatVec(dst Vector, m *Matrix, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: MatVec shapes %dx%d * %d -> %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// VecMat computes dst = x * m (row vector times matrix) where x has
+// dimension m.Rows and dst has dimension m.Cols. This is the per-node
+// combination kernel: node embedding (1 x in) times weight (in x out).
+func VecMat(dst Vector, x Vector, m *Matrix) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: VecMat shapes %d * %dx%d -> %d", len(x), m.Rows, m.Cols, len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		Axpy(dst, xi, row)
+	}
+}
+
+// AddBias computes dst[i] = x[i] + bias[i].
+func AddBias(dst, x, bias Vector) { Add(dst, x, bias) }
+
+// MatMul computes c = a * b sequentially. Shapes: a is (n x k), b is
+// (k x m), c is (n x m). For large n prefer ParallelMatMul.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d * %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	matMulRows(c, a, b, 0, a.Rows)
+}
+
+// matMulRows computes rows [lo, hi) of c = a*b using an ikj loop order that
+// streams b rows through cache.
+func matMulRows(c, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := c.Row(i)
+		for j := range ci {
+			ci[j] = 0
+		}
+		ai := a.Row(i)
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			Axpy(ci, aik, b.Row(k))
+		}
+	}
+}

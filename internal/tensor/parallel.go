@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism is the default worker count for parallel kernels. It is a
+// variable so benchmarks and tests can pin it; zero or negative values mean
+// "use GOMAXPROCS".
+var Parallelism = 0
+
+func workers(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = Parallelism
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ParallelMatMul computes c = a * b, sharding rows of a across the default
+// worker pool. It falls back to the sequential kernel for small inputs
+// where goroutine overhead would dominate.
+func ParallelMatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("tensor: ParallelMatMul shape mismatch")
+	}
+	n := workers(0)
+	// Heuristic: below ~64k multiply-adds the sequential kernel wins.
+	if n == 1 || a.Rows*a.Cols*b.Cols < 1<<16 {
+		matMulRows(c, a, b, 0, a.Rows)
+		return
+	}
+	ParallelFor(a.Rows, func(lo, hi int) { matMulRows(c, a, b, lo, hi) })
+}
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk concurrently, blocking until all chunks complete. body must be safe
+// to run concurrently on disjoint ranges.
+func ParallelFor(n int, body func(lo, hi int)) {
+	w := workers(0)
+	if w == 1 || n < 2*w {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForEach runs body(i) for each i in items concurrently, sharded in
+// contiguous chunks. Convenience wrapper over ParallelFor for index-free
+// worklists.
+func ParallelForEach[T any](items []T, body func(item T)) {
+	ParallelFor(len(items), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(items[i])
+		}
+	})
+}

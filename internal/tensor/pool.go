@@ -1,0 +1,37 @@
+package tensor
+
+import "sync"
+
+// VecPool recycles fixed-dimension scratch vectors across goroutines. Hot
+// per-node kernels (layer updates, event processing) run millions of times
+// per second; pooling their scratch space keeps the garbage collector out
+// of the inner loop.
+type VecPool struct {
+	dim int
+	p   sync.Pool
+}
+
+// NewVecPool returns a pool of dim-length vectors.
+func NewVecPool(dim int) *VecPool {
+	vp := &VecPool{dim: dim}
+	vp.p.New = func() any {
+		v := make(Vector, dim)
+		return &v
+	}
+	return vp
+}
+
+// Get returns a vector of the pool's dimension with unspecified contents;
+// callers must fully overwrite it.
+func (vp *VecPool) Get() Vector { return *vp.p.Get().(*Vector) }
+
+// Put returns v to the pool. v must have come from Get (same dimension).
+func (vp *VecPool) Put(v Vector) {
+	if len(v) != vp.dim {
+		panic("tensor: VecPool.Put dimension mismatch")
+	}
+	vp.p.Put(&v)
+}
+
+// Dim returns the pooled vector dimension.
+func (vp *VecPool) Dim() int { return vp.dim }

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestVecPoolBasics(t *testing.T) {
+	p := NewVecPool(4)
+	if p.Dim() != 4 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	v := p.Get()
+	if len(v) != 4 {
+		t.Fatalf("Get len = %d", len(v))
+	}
+	v[0] = 42
+	p.Put(v)
+	// The pool may or may not return the same vector; either way the
+	// dimension is right and contents are caller-owned.
+	w := p.Get()
+	if len(w) != 4 {
+		t.Fatalf("second Get len = %d", len(w))
+	}
+}
+
+func TestVecPoolPutDimCheck(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Put with wrong dim must panic")
+		}
+	}()
+	NewVecPool(4).Put(make(Vector, 3))
+}
+
+func TestVecPoolConcurrent(t *testing.T) {
+	p := NewVecPool(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := p.Get()
+				for j := range v {
+					v[j] = float32(i)
+				}
+				p.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAppendRow(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	m.AppendRow(Vector{5, 6})
+	if m.Rows != 3 || m.At(2, 1) != 6 {
+		t.Errorf("AppendRow result %v", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendRow with wrong dim must panic")
+		}
+	}()
+	m.AppendRow(Vector{1})
+}

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandMatrix returns a (rows x cols) matrix with elements drawn uniformly
+// from [-scale, scale] using rng. Used for deterministic Glorot-style
+// weight initialisation; callers pass rand.New(rand.NewSource(seed)).
+func RandMatrix(rng *rand.Rand, rows, cols int, scale float32) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (2*rng.Float32() - 1) * scale
+	}
+	return m
+}
+
+// GlorotMatrix returns a (rows x cols) matrix with Glorot/Xavier uniform
+// initialisation: scale = sqrt(6 / (rows + cols)).
+func GlorotMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	scale := sqrt32(6.0 / float32(rows+cols))
+	return RandMatrix(rng, rows, cols, scale)
+}
+
+// RandVector returns an n-vector with elements uniform in [-scale, scale].
+func RandVector(rng *rand.Rand, n int, scale float32) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = (2*rng.Float32() - 1) * scale
+	}
+	return v
+}
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }

@@ -1,0 +1,218 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/gnn"
+	"repro/internal/tensor"
+)
+
+// Architectures supported by the trainer. GCN is the default and the only
+// one that supports GraphNorm training (the Fig. 9 setup); GraphSAGE and
+// GIN train their 2-layer benchmark shapes so all three of the paper's
+// models can be fitted and served by the incremental engines.
+const (
+	ArchGCN  = "gcn"
+	ArchSAGE = "sage"
+	ArchGIN  = "gin"
+)
+
+// buildModel constructs the architecture with an output layer sized to the
+// class count.
+func buildModel(cfg Config, featLen int, rng *rand.Rand) (*gnn.Model, error) {
+	agg := gnn.NewAggregator(cfg.Agg)
+	switch cfg.Arch {
+	case "", ArchGCN:
+		model := gnn.NewGCN(rng, featLen, cfg.Hidden, agg)
+		l1 := model.Layers[1].(*gnn.GCNLayer)
+		l1.W = tensor.GlorotMatrix(rng, cfg.Hidden, cfg.Classes)
+		l1.B = tensor.NewVector(cfg.Classes)
+		if cfg.UseGraphNorm {
+			model.Norms = []*gnn.GraphNorm{gnn.NewGraphNorm(cfg.Hidden), gnn.NewGraphNorm(cfg.Classes)}
+		}
+		return model, nil
+	case ArchSAGE:
+		if cfg.UseGraphNorm {
+			return nil, fmt.Errorf("train: GraphNorm training is only supported for the GCN architecture")
+		}
+		model := gnn.NewSAGE(rng, featLen, cfg.Hidden, agg)
+		model.Layers[1] = gnn.RestoreSAGELayer("sage[1]",
+			tensor.GlorotMatrix(rng, cfg.Hidden, cfg.Classes),
+			tensor.GlorotMatrix(rng, cfg.Hidden, cfg.Classes),
+			tensor.NewVector(cfg.Classes),
+			gnn.NewAggregator(cfg.Agg), gnn.ActIdentity)
+		return model, nil
+	case ArchGIN:
+		if cfg.UseGraphNorm {
+			return nil, fmt.Errorf("train: GraphNorm training is only supported for the GCN architecture")
+		}
+		model := gnn.NewGIN(rng, featLen, cfg.Hidden, 2, agg)
+		model.Layers[1] = gnn.RestoreGINLayer("gin[1]", 0.1,
+			tensor.GlorotMatrix(rng, cfg.Hidden, cfg.Classes),
+			tensor.GlorotMatrix(rng, cfg.Classes, cfg.Classes),
+			tensor.RandVector(rng, cfg.Classes, 0.1),
+			tensor.NewVector(cfg.Classes),
+			gnn.NewAggregator(cfg.Agg), gnn.ActIdentity)
+		return model, nil
+	}
+	return nil, fmt.Errorf("train: unknown architecture %q (want gcn, sage or gin)", cfg.Arch)
+}
+
+// lossGrad computes the cross-entropy loss, training accuracy and the
+// gradient at the model output.
+func (t *trainer) lossGrad(out *tensor.Matrix) (loss, acc float64, dOut *tensor.Matrix) {
+	dOut = tensor.NewMatrix(out.Rows, out.Cols)
+	inv := 1 / float64(len(t.trainIdx))
+	correct := 0
+	for _, u := range t.trainIdx {
+		row := out.Row(int(u))
+		p := softmax(row)
+		if argmax(row) == t.labels[u] {
+			correct++
+		}
+		loss += -math.Log(math.Max(float64(p[t.labels[u]]), 1e-12)) * inv
+		dst := dOut.Row(int(u))
+		for c := range dst {
+			dst[c] = p[c] * float32(inv)
+		}
+		dst[t.labels[u]] -= float32(inv)
+	}
+	return loss, float64(correct) / float64(len(t.trainIdx)), dOut
+}
+
+// sgdM / sgdV apply an SGD-with-momentum step to one parameter, keeping
+// the velocity buffer under the given id.
+func (t *trainer) sgdM(id int, w, grad *tensor.Matrix) {
+	if t.velM == nil {
+		t.velM = map[int]*tensor.Matrix{}
+	}
+	vel, ok := t.velM[id]
+	if !ok {
+		vel = tensor.NewMatrix(w.Rows, w.Cols)
+		t.velM[id] = vel
+	}
+	sgdMat(w, grad, vel, t.cfg)
+}
+
+func (t *trainer) sgdV(id int, w, grad tensor.Vector) {
+	if t.velV == nil {
+		t.velV = map[int]tensor.Vector{}
+	}
+	vel, ok := t.velV[id]
+	if !ok {
+		vel = tensor.NewVector(len(w))
+		t.velV[id] = vel
+	}
+	sgdVec(w, grad, vel, t.cfg)
+}
+
+// maskPositive returns d ⊙ 1[gate > 0] — the ReLU adjoint using the
+// post-activation output as the gate.
+func maskPositive(d, gate *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(d.Rows, d.Cols)
+	for i, g := range gate.Data {
+		if g > 0 {
+			out.Data[i] = d.Data[i]
+		}
+	}
+	return out
+}
+
+func addInto(dst, src *tensor.Matrix) {
+	for i := range dst.Data {
+		dst.Data[i] += src.Data[i]
+	}
+}
+
+// stepSAGE runs one full-batch pass for the 2-layer GraphSAGE:
+//
+//	M_l = H_l; A_l = agg(M_l); H_{l+1} = act(A_l·W1 + M_l·W2 + b)
+func (t *trainer) stepSAGE() (loss, acc float64, err error) {
+	l0 := t.model.Layers[0].(*gnn.SAGELayer)
+	l1 := t.model.Layers[1].(*gnn.SAGELayer)
+	s, err := gnn.Infer(t.model, t.g, t.x, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, acc, dH2 := t.lossGrad(s.Output())
+
+	// Layer 1 (identity activation): dpre = dH2.
+	dpre1 := dH2
+	gW1b := matTmul(s.Alpha[1], dpre1)
+	gW2b := matTmul(s.M[1], dpre1)
+	gBb := colSum(dpre1)
+	dA1 := mulTrans(dpre1, l1.W1)
+	dH1 := mulTrans(dpre1, l1.W2)
+	addInto(dH1, t.aggBackward(dA1, s.Alpha[1], s.M[1]))
+
+	// Layer 0 (ReLU): gate on the cached output H[1].
+	dpre0 := maskPositive(dH1, s.H[1])
+	gW1a := matTmul(s.Alpha[0], dpre0)
+	gW2a := matTmul(s.M[0], dpre0)
+	gBa := colSum(dpre0)
+
+	t.sgdM(0, l0.W1, gW1a)
+	t.sgdM(1, l0.W2, gW2a)
+	t.sgdV(0, l0.B, gBa)
+	t.sgdM(2, l1.W1, gW1b)
+	t.sgdM(3, l1.W2, gW2b)
+	t.sgdV(1, l1.B, gBb)
+	return loss, acc, nil
+}
+
+// stepGIN runs one full-batch pass for the 2-layer GIN:
+//
+//	z_l = (1+ε)M_l + A_l; hid = ReLU(z·W1 + b1); H_{l+1} = act(hid·W2 + b2)
+func (t *trainer) stepGIN() (loss, acc float64, err error) {
+	s, err := gnn.Infer(t.model, t.g, t.x, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, acc, dOut := t.lossGrad(s.Output())
+
+	dH := dOut
+	for l := t.model.NumLayers() - 1; l >= 0; l-- {
+		layer := t.model.Layers[l].(*gnn.GINLayer)
+		// dH is the gradient at H[l+1] (post-activation). ReLU layers gate
+		// on the cached output; the top layer is identity.
+		dpre2 := dH
+		if layer.Act() == gnn.ActReLU {
+			dpre2 = maskPositive(dH, s.H[l+1])
+		}
+		// Recompute the MLP internals from the cached M and Alpha.
+		z := tensor.NewMatrix(s.M[l].Rows, s.M[l].Cols)
+		for i := range z.Data {
+			z.Data[i] = (1+layer.Eps)*s.M[l].Data[i] + s.Alpha[l].Data[i]
+		}
+		hid := tensor.NewMatrix(z.Rows, layer.W1.Cols)
+		for u := 0; u < z.Rows; u++ {
+			tensor.VecMat(hid.Row(u), z.Row(u), layer.W1)
+			tensor.Add(hid.Row(u), hid.Row(u), layer.B1)
+			tensor.ReLU(hid.Row(u), hid.Row(u))
+		}
+
+		gW2 := matTmul(hid, dpre2)
+		gB2 := colSum(dpre2)
+		dhid := mulTrans(dpre2, layer.W2)
+		dpre1 := maskPositive(dhid, hid)
+		gW1 := matTmul(z, dpre1)
+		gB1 := colSum(dpre1)
+		dz := mulTrans(dpre1, layer.W1)
+
+		// dM = (1+ε)·dz + aggᵀ(dA) with dA = dz; M = H.
+		dM := tensor.NewMatrix(dz.Rows, dz.Cols)
+		for i := range dM.Data {
+			dM.Data[i] = (1 + layer.Eps) * dz.Data[i]
+		}
+		addInto(dM, t.aggBackward(dz, s.Alpha[l], s.M[l]))
+
+		t.sgdM(10+4*l, layer.W1, gW1)
+		t.sgdM(11+4*l, layer.W2, gW2)
+		t.sgdV(10+4*l, layer.B1, gB1)
+		t.sgdV(11+4*l, layer.B2, gB2)
+		dH = dM
+	}
+	return loss, acc, nil
+}

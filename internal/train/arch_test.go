@@ -1,0 +1,163 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/tensor"
+)
+
+// All three benchmark architectures learn the SBM task well above chance,
+// for both an accumulative and a monotonic aggregator.
+func TestAllArchitecturesLearn(t *testing.T) {
+	for _, arch := range []string{ArchGCN, ArchSAGE, ArchGIN} {
+		for _, agg := range []gnn.AggKind{gnn.AggMean, gnn.AggMax} {
+			arch, agg := arch, agg
+			t.Run(arch+"/"+agg.String(), func(t *testing.T) {
+				sbm := smallSBM(t)
+				trainIdx, testIdx := sbm.Split(0.6, 11)
+				cfg := DefaultConfig(4)
+				cfg.Arch = arch
+				cfg.Agg = agg
+				cfg.UseGraphNorm = false
+				cfg.Epochs = 80
+				if arch == ArchGIN {
+					cfg.LR = 0.05 // the MLP is more sensitive
+				}
+				res, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.History.Loss[len(res.History.Loss)-1] >= res.History.Loss[0] {
+					t.Errorf("loss did not decrease")
+				}
+				acc, err := Evaluate(res.Model, sbm.G, sbm.X, sbm.Labels, testIdx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if acc < 0.55 { // chance = 0.25
+					t.Errorf("test accuracy %.2f too low", acc)
+				}
+			})
+		}
+	}
+}
+
+func TestArchValidation(t *testing.T) {
+	sbm := smallSBM(t)
+	trainIdx, _ := sbm.Split(0.5, 1)
+	cfg := DefaultConfig(4)
+	cfg.Epochs = 1
+	cfg.Arch = "transformer"
+	if _, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+	for _, arch := range []string{ArchSAGE, ArchGIN} {
+		cfg.Arch = arch
+		cfg.UseGraphNorm = true
+		if _, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg); err == nil {
+			t.Errorf("%s: GraphNorm training accepted", arch)
+		}
+	}
+}
+
+// Finite-difference gradient checks for the SAGE and GIN backward passes
+// (mean aggregation: smooth everywhere except ReLU kinks).
+func TestArchGradients(t *testing.T) {
+	for _, arch := range []string{ArchSAGE, ArchGIN} {
+		arch := arch
+		t.Run(arch, func(t *testing.T) {
+			sbm, err := dataset.GenerateSBM(dataset.SBMParams{
+				Nodes: 40, Classes: 3, AvgDegree: 4, Homophily: 0.8,
+				FeatLen: 5, NoiseStd: 0.4,
+			}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trainIdx, _ := sbm.Split(0.7, 2)
+			cfg := Config{Hidden: 6, Classes: 3, LR: 1, Momentum: 0, Epochs: 0,
+				Seed: 9, Agg: gnn.AggMean, Arch: arch}
+			before, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Epochs = 1
+			after, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mats [][2]*tensor.Matrix // {before, after} pairs
+			switch arch {
+			case ArchSAGE:
+				b0 := before.Model.Layers[0].(*gnn.SAGELayer)
+				a0 := after.Model.Layers[0].(*gnn.SAGELayer)
+				b1 := before.Model.Layers[1].(*gnn.SAGELayer)
+				a1 := after.Model.Layers[1].(*gnn.SAGELayer)
+				mats = [][2]*tensor.Matrix{{b0.W1, a0.W1}, {b0.W2, a0.W2}, {b1.W1, a1.W1}, {b1.W2, a1.W2}}
+			case ArchGIN:
+				b0 := before.Model.Layers[0].(*gnn.GINLayer)
+				a0 := after.Model.Layers[0].(*gnn.GINLayer)
+				b1 := before.Model.Layers[1].(*gnn.GINLayer)
+				a1 := after.Model.Layers[1].(*gnn.GINLayer)
+				mats = [][2]*tensor.Matrix{{b0.W1, a0.W1}, {b0.W2, a0.W2}, {b1.W1, a1.W1}, {b1.W2, a1.W2}}
+			}
+			rng := rand.New(rand.NewSource(3))
+			for mi, pair := range mats {
+				wb, wa := pair[0], pair[1]
+				for trial := 0; trial < 4; trial++ {
+					i := rng.Intn(len(wb.Data))
+					analytic := float64(wb.Data[i] - wa.Data[i])
+					const eps = 1e-2
+					orig := wb.Data[i]
+					wb.Data[i] = orig + eps
+					up := lossOf(t, before.Model, sbm.G, sbm.X, sbm.Labels, trainIdx)
+					wb.Data[i] = orig - eps
+					down := lossOf(t, before.Model, sbm.G, sbm.X, sbm.Labels, trainIdx)
+					wb.Data[i] = orig
+					numeric := (up - down) / (2 * eps)
+					scale := math.Max(math.Max(math.Abs(analytic), math.Abs(numeric)), 1e-3)
+					if math.Abs(analytic-numeric)/scale > 0.2 {
+						t.Errorf("%s mat %d [%d]: analytic %.5f vs numeric %.5f",
+							arch, mi, i, analytic, numeric)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Trained SAGE and GIN models (max aggregation) feed straight into the
+// incremental engine and serve bit-exactly.
+func TestTrainedArchesFeedEngine(t *testing.T) {
+	for _, arch := range []string{ArchSAGE, ArchGIN} {
+		sbm := smallSBM(t)
+		trainIdx, _ := sbm.Split(0.6, 1)
+		cfg := DefaultConfig(4)
+		cfg.Arch = arch
+		cfg.Agg = gnn.AggMax
+		cfg.UseGraphNorm = false
+		cfg.Epochs = 20
+		res, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := inkstream.New(res.Model, sbm.G.Clone(), sbm.X, nil, inkstream.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for batch := 0; batch < 2; batch++ {
+			if err := eng.Update(graph.RandomDelta(rng, eng.Graph(), 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Verify(0); err != nil {
+			t.Fatalf("%s: trained model through engine: %v", arch, err)
+		}
+	}
+}

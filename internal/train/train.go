@@ -1,0 +1,457 @@
+// Package train provides the periodic-retraining substrate of the paper's
+// deployment story: InkStream serves inference *between* training phases,
+// and the GraphNorm approximation (Sec. II-E) freezes the statistics
+// captured at training time. This package trains the 2-layer mean-GCN
+// (with optional GraphNorm) by full-batch gradient descent on a node
+// classification task, producing models whose weights drop directly into
+// the inference engines — the forward pass is exactly gnn.Infer.
+//
+// The backward pass is hand-derived for the fixed architecture:
+//
+//	M0 = X·W0 + b0;  A0 = mean-agg(M0);  H1 = GN0(ReLU(A0))
+//	M1 = H1·W1 + b1; A1 = mean-agg(M1);  H2 = GN1(A1)
+//	loss = cross-entropy(softmax(H2[train]), labels[train])
+//
+// Mean aggregation's adjoint redistributes each node's gradient to its
+// in-neighbors scaled by 1/deg; GraphNorm's adjoint is the standard
+// batch-normalisation backward over the vertex dimension.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Config controls training.
+type Config struct {
+	Hidden       int
+	Classes      int
+	LR           float64
+	Momentum     float64
+	Epochs       int
+	WeightDecay  float64
+	UseGraphNorm bool
+	Seed         int64
+	// Agg selects the aggregation function. Mean and sum have smooth
+	// adjoints; max trains with the standard subgradient (the gradient
+	// routes to one attaining neighbor per channel), producing trained
+	// weights for the paper's InkStream-m variant. Min is symmetric to
+	// max and also supported.
+	Agg gnn.AggKind
+	// Arch selects the architecture: ArchGCN (default), ArchSAGE or
+	// ArchGIN — the three benchmark models of the paper.
+	Arch string
+}
+
+// DefaultConfig returns a configuration that converges on the SBM tasks
+// used in the tests and experiments.
+func DefaultConfig(classes int) Config {
+	return Config{
+		Hidden:       16,
+		Classes:      classes,
+		LR:           0.3,
+		Momentum:     0.9,
+		Epochs:       120,
+		WeightDecay:  5e-5,
+		UseGraphNorm: true,
+		Seed:         1,
+		Agg:          gnn.AggMean,
+	}
+}
+
+// History records per-epoch training loss and accuracy.
+type History struct {
+	Loss     []float64
+	TrainAcc []float64
+}
+
+// Result bundles a trained model with its history. The model's GraphNorm
+// layers (when enabled) hold the final captured statistics; call
+// FreezeCaptured on them to switch to the paper's approximation mode.
+type Result struct {
+	Model   *gnn.Model
+	History History
+}
+
+// Train fits a 2-layer GCN to the labeled graph.
+func Train(g *graph.Graph, x *tensor.Matrix, labels []int, trainIdx []graph.NodeID, cfg Config) (*Result, error) {
+	if len(labels) != g.NumNodes() {
+		return nil, fmt.Errorf("train: %d labels for %d nodes", len(labels), g.NumNodes())
+	}
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("train: empty training set")
+	}
+	if cfg.Classes < 2 {
+		return nil, fmt.Errorf("train: need >= 2 classes")
+	}
+	for _, u := range trainIdx {
+		if int(u) < 0 || int(u) >= g.NumNodes() {
+			return nil, fmt.Errorf("train: %w (%d)", graph.ErrBadNode, u)
+		}
+		if labels[u] < 0 || labels[u] >= cfg.Classes {
+			return nil, fmt.Errorf("train: node %d has label %d outside [0, %d)", u, labels[u], cfg.Classes)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	model, err := buildModel(cfg, x.Cols, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &trainer{cfg: cfg, g: g, x: x, labels: labels, trainIdx: trainIdx, model: model}
+	step := tr.step
+	switch cfg.Arch {
+	case ArchSAGE:
+		step = tr.stepSAGE
+	case ArchGIN:
+		step = tr.stepGIN
+	}
+	res := &Result{Model: model}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		loss, acc, err := step()
+		if err != nil {
+			return nil, err
+		}
+		res.History.Loss = append(res.History.Loss, loss)
+		res.History.TrainAcc = append(res.History.TrainAcc, acc)
+	}
+	return res, nil
+}
+
+// Evaluate runs inference and returns classification accuracy over idx.
+func Evaluate(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, labels []int, idx []graph.NodeID) (float64, error) {
+	if model == nil {
+		return 0, fmt.Errorf("train: nil model")
+	}
+	if len(idx) == 0 {
+		return 0, fmt.Errorf("train: empty evaluation set")
+	}
+	s, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for _, u := range idx {
+		if argmax(s.Output().Row(int(u))) == labels[u] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(idx)), nil
+}
+
+// trainer holds per-step scratch.
+type trainer struct {
+	cfg      Config
+	g        *graph.Graph
+	x        *tensor.Matrix
+	labels   []int
+	trainIdx []graph.NodeID
+	model    *gnn.Model
+
+	// momentum buffers, lazily sized (GCN path keeps its named buffers;
+	// the SAGE/GIN paths use the id-keyed maps)
+	vW0, vW1             *tensor.Matrix
+	vB0, vB1             tensor.Vector
+	vG0, vBt0, vG1, vBt1 tensor.Vector
+	velM                 map[int]*tensor.Matrix
+	velV                 map[int]tensor.Vector
+}
+
+// step runs one full-batch forward/backward/update pass.
+func (t *trainer) step() (loss, acc float64, err error) {
+	n := t.g.NumNodes()
+	l0 := t.model.Layers[0].(*gnn.GCNLayer)
+	l1 := t.model.Layers[1].(*gnn.GCNLayer)
+	hid, classes := l0.W.Cols, l1.W.Cols
+
+	// Forward: gnn.Infer caches M (messages), Alpha (pre-activation
+	// aggregates) and H (post-activation, post-norm) — everything the
+	// backward pass needs. Exact-mode GraphNorm records its statistics.
+	s, err := gnn.Infer(t.model, t.g, t.x, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// Loss and logits gradient.
+	dH2 := tensor.NewMatrix(n, classes)
+	inv := 1 / float64(len(t.trainIdx))
+	correct := 0
+	for _, u := range t.trainIdx {
+		row := s.Output().Row(int(u))
+		p := softmax(row)
+		if argmax(row) == t.labels[u] {
+			correct++
+		}
+		loss += -math.Log(math.Max(float64(p[t.labels[u]]), 1e-12)) * inv
+		dst := dH2.Row(int(u))
+		for c := range dst {
+			dst[c] = p[c] * float32(inv)
+		}
+		dst[t.labels[u]] -= float32(inv)
+	}
+	acc = float64(correct) / float64(len(t.trainIdx))
+
+	// Backward through the optional output GraphNorm: pre-norm input is
+	// Alpha[1] (identity activation).
+	var dG1, dBt1 tensor.Vector
+	dA1 := dH2
+	if t.cfg.UseGraphNorm {
+		dA1, dG1, dBt1 = normBackward(t.model.Norms[1], s.Alpha[1], dH2)
+	}
+
+	// Aggregation adjoint.
+	dM1 := t.aggBackward(dA1, s.Alpha[1], s.M[1])
+
+	// Linear layer 1: M1 = H1·W1 + b1 with H1 = H[1] (cached post-norm).
+	dW1 := matTmul(s.H[1], dM1)
+	dB1 := colSum(dM1)
+	dH1 := mulTrans(dM1, l1.W)
+
+	// Backward through hidden GraphNorm and ReLU: H1 = GN0(ReLU(A0)).
+	dRelu := dH1
+	var dG0, dBt0 tensor.Vector
+	if t.cfg.UseGraphNorm {
+		pre := s.Alpha[0].Clone()
+		for i := range pre.Data { // pre-norm input is ReLU(A0)
+			if pre.Data[i] < 0 {
+				pre.Data[i] = 0
+			}
+		}
+		dRelu, dG0, dBt0 = normBackward(t.model.Norms[0], pre, dH1)
+	}
+	dA0 := tensor.NewMatrix(n, hid)
+	for i, a := range s.Alpha[0].Data {
+		if a > 0 {
+			dA0.Data[i] = dRelu.Data[i]
+		}
+	}
+
+	dM0 := t.aggBackward(dA0, s.Alpha[0], s.M[0])
+	dW0 := matTmul(s.H[0], dM0)
+	dB0 := colSum(dM0)
+
+	// SGD with momentum + weight decay.
+	t.ensureBuffers(l0, l1)
+	sgdMat(l0.W, dW0, t.vW0, t.cfg)
+	sgdMat(l1.W, dW1, t.vW1, t.cfg)
+	sgdVec(l0.B, dB0, t.vB0, t.cfg)
+	sgdVec(l1.B, dB1, t.vB1, t.cfg)
+	if t.cfg.UseGraphNorm {
+		sgdVec(t.model.Norms[0].Gamma, dG0, t.vG0, t.cfg)
+		sgdVec(t.model.Norms[0].Beta, dBt0, t.vBt0, t.cfg)
+		sgdVec(t.model.Norms[1].Gamma, dG1, t.vG1, t.cfg)
+		sgdVec(t.model.Norms[1].Beta, dBt1, t.vBt1, t.cfg)
+	}
+	return loss, acc, nil
+}
+
+func (t *trainer) ensureBuffers(l0, l1 *gnn.GCNLayer) {
+	if t.vW0 != nil {
+		return
+	}
+	t.vW0 = tensor.NewMatrix(l0.W.Rows, l0.W.Cols)
+	t.vW1 = tensor.NewMatrix(l1.W.Rows, l1.W.Cols)
+	t.vB0 = tensor.NewVector(len(l0.B))
+	t.vB1 = tensor.NewVector(len(l1.B))
+	if t.cfg.UseGraphNorm {
+		t.vG0 = tensor.NewVector(t.model.Norms[0].Dim())
+		t.vBt0 = tensor.NewVector(t.model.Norms[0].Dim())
+		t.vG1 = tensor.NewVector(t.model.Norms[1].Dim())
+		t.vBt1 = tensor.NewVector(t.model.Norms[1].Dim())
+	}
+}
+
+// aggBackward computes the adjoint of the aggregation function. For mean,
+// each node's gradient is distributed to its in-neighbors scaled by the
+// inverse degree; for sum, unscaled; for max/min, the subgradient routes
+// each channel's gradient entirely to the first neighbor whose message
+// attains the aggregate (alpha and m are the forward caches).
+func (t *trainer) aggBackward(dA, alpha, m *tensor.Matrix) *tensor.Matrix {
+	n := t.g.NumNodes()
+	dM := tensor.NewMatrix(n, dA.Cols)
+	switch t.cfg.Agg {
+	case gnn.AggMean, gnn.AggSum:
+		for u := 0; u < n; u++ {
+			deg := t.g.InDegree(graph.NodeID(u))
+			if deg == 0 {
+				continue
+			}
+			w := float32(1)
+			if t.cfg.Agg == gnn.AggMean {
+				w = 1 / float32(deg)
+			}
+			src := dA.Row(u)
+			for _, v := range t.g.InNeighbors(graph.NodeID(u)) {
+				tensor.Axpy(dM.Row(int(v)), w, src)
+			}
+		}
+	case gnn.AggMax, gnn.AggMin:
+		for u := 0; u < n; u++ {
+			nbrs := t.g.InNeighbors(graph.NodeID(u))
+			if len(nbrs) == 0 {
+				continue
+			}
+			src := dA.Row(u)
+			au := alpha.Row(u)
+			for c := range src {
+				if src[c] == 0 {
+					continue
+				}
+				for _, v := range nbrs {
+					if m.Row(int(v))[c] == au[c] {
+						dM.Row(int(v))[c] += src[c]
+						break
+					}
+				}
+			}
+		}
+	default:
+		panic("train: unsupported aggregation " + t.cfg.Agg.String())
+	}
+	return dM
+}
+
+// normBackward is the batch-normalisation adjoint over the vertex
+// dimension for y = γ(x−μ)/σ + β, using the statistics the norm captured
+// in its most recent exact Apply. Returns dx, dγ, dβ.
+func normBackward(nrm *gnn.GraphNorm, pre *tensor.Matrix, dy *tensor.Matrix) (*tensor.Matrix, tensor.Vector, tensor.Vector) {
+	n, c := pre.Rows, pre.Cols
+	mu, sigma := nrm.Mu, nrm.Sigma
+	dx := tensor.NewMatrix(n, c)
+	dGamma := tensor.NewVector(c)
+	dBeta := tensor.NewVector(c)
+	if n == 0 {
+		return dx, dGamma, dBeta
+	}
+	invN := 1 / float32(n)
+	// Per-channel reductions: Σdy and Σdy·x̂.
+	sumDy := tensor.NewVector(c)
+	sumDyXhat := tensor.NewVector(c)
+	for u := 0; u < n; u++ {
+		dyr, xr := dy.Row(u), pre.Row(u)
+		for j := 0; j < c; j++ {
+			xhat := (xr[j] - mu[j]) / sigma[j]
+			sumDy[j] += dyr[j]
+			sumDyXhat[j] += dyr[j] * xhat
+		}
+	}
+	copy(dBeta, sumDy)
+	copy(dGamma, sumDyXhat)
+	for u := 0; u < n; u++ {
+		dyr, xr, dxr := dy.Row(u), pre.Row(u), dx.Row(u)
+		for j := 0; j < c; j++ {
+			xhat := (xr[j] - mu[j]) / sigma[j]
+			dxr[j] = nrm.Gamma[j] / sigma[j] * (dyr[j] - invN*sumDy[j] - xhat*invN*sumDyXhat[j])
+		}
+	}
+	return dx, dGamma, dBeta
+}
+
+// matTmul computes aᵀ·b for row-major matrices with equal row counts.
+func matTmul(a, b *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ar, br := a.Row(r), b.Row(r)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			tensor.Axpy(out.Row(i), av, br)
+		}
+	}
+	return out
+}
+
+// mulTrans computes a·wᵀ.
+func mulTrans(a *tensor.Matrix, w *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(a.Rows, w.Rows)
+	for r := 0; r < a.Rows; r++ {
+		ar, or := a.Row(r), out.Row(r)
+		for i := range or {
+			or[i] = tensor.Dot(ar, w.Row(i))
+		}
+	}
+	return out
+}
+
+func colSum(m *tensor.Matrix) tensor.Vector {
+	out := tensor.NewVector(m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		tensor.Add(out, out, m.Row(r))
+	}
+	return out
+}
+
+func sgdMat(w, grad, vel *tensor.Matrix, cfg Config) {
+	lr, mom, wd := float32(cfg.LR), float32(cfg.Momentum), float32(cfg.WeightDecay)
+	for i := range w.Data {
+		g := grad.Data[i] + wd*w.Data[i]
+		vel.Data[i] = mom*vel.Data[i] - lr*g
+		w.Data[i] += vel.Data[i]
+	}
+}
+
+func sgdVec(w, grad, vel tensor.Vector, cfg Config) {
+	lr, mom, wd := float32(cfg.LR), float32(cfg.Momentum), float32(cfg.WeightDecay)
+	for i := range w {
+		g := grad[i] + wd*w[i]
+		vel[i] = mom*vel[i] - lr*g
+		w[i] += vel[i]
+	}
+}
+
+func softmax(v tensor.Vector) tensor.Vector {
+	out := make(tensor.Vector, len(v))
+	maxv := v[0]
+	for _, x := range v[1:] {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	var sum float64
+	for i, x := range v {
+		e := math.Exp(float64(x - maxv))
+		out[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func argmax(v tensor.Vector) int {
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// TrainSBM is a convenience wrapper: generate, split, train, evaluate.
+func TrainSBM(params dataset.SBMParams, cfg Config, seed int64) (*Result, float64, error) {
+	sbm, err := dataset.GenerateSBM(params, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	trainIdx, testIdx := sbm.Split(0.6, seed+1)
+	res, err := Train(sbm.G, sbm.X, sbm.Labels, trainIdx, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	acc, err := Evaluate(res.Model, sbm.G, sbm.X, sbm.Labels, testIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, acc, nil
+}
