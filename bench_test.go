@@ -337,16 +337,22 @@ func BenchmarkEngineBootstrap(b *testing.B) {
 
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
-	for _, n := range []int{64, 256} {
-		x := tensor.RandMatrix(rng, n, n, 1)
-		y := tensor.RandMatrix(rng, n, n, 1)
-		z := tensor.NewMatrix(n, n)
-		b.Run(fmt.Sprintf("seq/%d", n), func(b *testing.B) {
+	// Square shapes plus the tall, skinny shapes of batched GNN inference
+	// (n nodes × feature dims); see also BenchmarkGEMMKernel in
+	// internal/tensor and BenchmarkInferLayer in internal/gnn.
+	for _, sh := range [][3]int{
+		{64, 64, 64}, {256, 256, 256},
+		{2048, 32, 32}, {2048, 256, 256}, {5000, 32, 32},
+	} {
+		x := tensor.RandMatrix(rng, sh[0], sh[1], 1)
+		y := tensor.RandMatrix(rng, sh[1], sh[2], 1)
+		z := tensor.NewMatrix(sh[0], sh[2])
+		b.Run(fmt.Sprintf("seq/%dx%dx%d", sh[0], sh[1], sh[2]), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tensor.MatMul(z, x, y)
 			}
 		})
-		b.Run(fmt.Sprintf("par/%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("par/%dx%dx%d", sh[0], sh[1], sh[2]), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				tensor.ParallelMatMul(z, x, y)
 			}

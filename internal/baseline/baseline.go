@@ -132,15 +132,22 @@ func (f *Fused) Infer(g *graph.Graph, x *tensor.Matrix) (*tensor.Matrix, error) 
 	}
 	for li, layer := range f.Model.Layers {
 		m := viewCols(f.bufB, n, layer.MsgDim())
-		tensor.ParallelFor(n, func(lo, hi int) {
-			for u := lo; u < hi; u++ {
-				layer.ComputeMessage(m.Row(u), h.Row(u))
-				gnn.CountMessage(f.C, layer)
-			}
-		})
+		// Message phase as one blocked GEMM when the layer supports it; the
+		// ping-pong buffers don't alias (h is bufA, m is bufB).
+		if bl, ok := layer.(gnn.BatchedLayer); ok {
+			bl.BatchComputeMessages(m, h)
+			gnn.CountMessages(f.C, layer, n)
+		} else {
+			tensor.ParallelForGrain(n, layer.InDim()*layer.MsgDim(), func(lo, hi int) {
+				for u := lo; u < hi; u++ {
+					layer.ComputeMessage(m.Row(u), h.Row(u))
+					gnn.CountMessage(f.C, layer)
+				}
+			})
+		}
 		hNext := viewCols(f.bufA, n, layer.OutDim())
 		agg := layer.Agg()
-		tensor.ParallelFor(n, func(lo, hi int) {
+		tensor.ParallelForGrain(n, 4*layer.MsgDim(), func(lo, hi int) {
 			alpha := make(tensor.Vector, layer.MsgDim())
 			for u := lo; u < hi; u++ {
 				agg.Identity(alpha)

@@ -1,0 +1,128 @@
+package gnn
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+// BatchedLayer is implemented by layers whose combination phases (message
+// and update) can run as blocked GEMMs over all nodes at once instead of
+// row-by-row VecMat calls. Implementations MUST be bit-identical to the
+// per-row ComputeMessage/Update path: the incremental engine refreshes
+// single rows with the per-row kernels and verifies them against batched
+// full inference (Engine.Verify(0)), so the two paths may differ only in
+// which rows are computed together, never in the reduction order within an
+// output element. The tensor GEMM core guarantees this (see
+// internal/tensor/gemm.go); batched implementations must additionally keep
+// the per-element epilogue order (add terms, then bias, then activation)
+// identical to their Update method.
+type BatchedLayer interface {
+	Layer
+	// BatchComputeMessages writes m_u = ComputeMessage(h_u) for every row.
+	BatchComputeMessages(m, h *tensor.Matrix)
+	// BatchUpdate writes hNext_u = Update(alpha_u, m_u) for every row.
+	BatchUpdate(hNext, alpha, m *tensor.Matrix)
+}
+
+// CountMessages records n ComputeMessage-equivalent calls in bulk; totals
+// match n individual CountMessage calls exactly.
+func CountMessages(c *metrics.Counters, l Layer, n int) {
+	c.FetchVec(n * l.InDim())
+	c.AddFLOPs(int64(n) * l.MessageFLOPs())
+	c.StoreVec(n * l.MsgDim())
+}
+
+// CountUpdates records n Update-equivalent calls in bulk; totals match n
+// individual CountUpdate calls exactly.
+func CountUpdates(c *metrics.Counters, l Layer, n int) {
+	f := n * l.MsgDim()
+	if l.SelfDependent() {
+		f *= 2
+	}
+	c.FetchVec(f)
+	c.AddFLOPs(int64(n) * l.UpdateFLOPs())
+	c.StoreVec(n * l.OutDim())
+}
+
+// ---------------------------------------------------------------------------
+// GCN: m = h·W + b, h' = act(α)
+
+func (l *GCNLayer) BatchComputeMessages(m, h *tensor.Matrix) {
+	tensor.ParallelMatMulBiasAct(m, h, l.W, l.B, nil)
+}
+
+func (l *GCNLayer) BatchUpdate(hNext, alpha, m *tensor.Matrix) {
+	tensor.ParallelForGrain(hNext.Rows, hNext.Cols, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			l.act(hNext.Row(u), alpha.Row(u))
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// GraphSAGE: m = h, h' = act(α·W1 + m·W2 + b)
+
+func (l *SAGELayer) BatchComputeMessages(m, h *tensor.Matrix) {
+	copy(m.Data, h.Data)
+}
+
+func (l *SAGELayer) BatchUpdate(hNext, alpha, m *tensor.Matrix) {
+	batchTwoTermUpdate(hNext, alpha, l.W1, m, l.W2, l.B, l.act)
+}
+
+// ---------------------------------------------------------------------------
+// GraphConv: m = h, h' = act(m·W1 + α·W2 + b)
+
+func (l *GraphConvLayer) BatchComputeMessages(m, h *tensor.Matrix) {
+	copy(m.Data, h.Data)
+}
+
+func (l *GraphConvLayer) BatchUpdate(hNext, alpha, m *tensor.Matrix) {
+	batchTwoTermUpdate(hNext, m, l.W1, alpha, l.W2, l.B, l.act)
+}
+
+// batchTwoTermUpdate computes hNext = act(x·Wx + y·Wy + b) as two complete
+// GEMMs followed by a per-row elementwise epilogue. The two products are NOT
+// interleaved along k: the per-row path computes VecMat(x_u·Wx) fully, then
+// VecMat(y_u·Wy) fully, then adds — summing term by term here keeps the
+// per-element float order identical.
+func batchTwoTermUpdate(hNext, x, wx, y, wy *tensor.Matrix, b tensor.Vector, act tensor.Activation) {
+	tensor.ParallelMatMul(hNext, x, wx)
+	s := tensor.GetScratch(hNext.Rows, hNext.Cols)
+	tensor.ParallelMatMul(s, y, wy)
+	tensor.ParallelForGrain(hNext.Rows, 4*hNext.Cols, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			dst := hNext.Row(u)
+			tensor.Add(dst, dst, s.Row(u))
+			tensor.Add(dst, dst, b)
+			act(dst, dst)
+		}
+	})
+	tensor.PutScratch(s)
+}
+
+// ---------------------------------------------------------------------------
+// GIN: m = h, h' = MLP((1+ε)·m + α) with MLP = act∘(W2,b2)∘ReLU∘(W1,b1)
+
+func (l *GINLayer) BatchComputeMessages(m, h *tensor.Matrix) {
+	copy(m.Data, h.Data)
+}
+
+func (l *GINLayer) BatchUpdate(hNext, alpha, m *tensor.Matrix) {
+	n := hNext.Rows
+	in := tensor.GetScratch(n, l.InDim())
+	eps := 1 + l.Eps
+	tensor.ParallelForGrain(len(in.Data), 1, func(lo, hi int) {
+		id, md, ad := in.Data, m.Data, alpha.Data
+		md = md[:len(id)]
+		ad = ad[:len(id)]
+		for i := lo; i < hi; i++ {
+			id[i] = eps*md[i] + ad[i]
+		}
+	})
+	hid := tensor.GetScratch(n, l.mlpHide)
+	tensor.ParallelMatMulBiasAct(hid, in, l.W1, l.B1, tensor.ReLU)
+	tensor.PutScratch(in)
+	tensor.ParallelMatMulBiasAct(hNext, hid, l.W2, l.B2, l.act)
+	tensor.PutScratch(hid)
+}

@@ -133,20 +133,30 @@ func Infer(model *Model, g *graph.Graph, x *tensor.Matrix, c *metrics.Counters) 
 }
 
 // inferLayer computes one layer over every node: messages, aggregation,
-// update, optional norm. All phases are node-parallel.
+// update, optional norm. The combination phases (message, update) run as
+// blocked GEMMs when the layer implements BatchedLayer — bit-identical to
+// the per-row fallback, which remains for layers outside the interface.
+// The aggregation phase is graph-dependent and always per-row.
 func inferLayer(layer Layer, norm *GraphNorm, csr *graph.CSR, h, m, alpha, hNext *tensor.Matrix, c *metrics.Counters) {
 	n := csr.NumNodes()
+	batched, _ := layer.(BatchedLayer)
 	// Combination phase: m_u = 𝒯(h_u).
-	tensor.ParallelFor(n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			layer.ComputeMessage(m.Row(u), h.Row(u))
-			CountMessage(c, layer)
-		}
-	})
+	if batched != nil {
+		batched.BatchComputeMessages(m, h)
+		CountMessages(c, layer, n)
+	} else {
+		tensor.ParallelForGrain(n, layer.InDim()*layer.MsgDim(), func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				layer.ComputeMessage(m.Row(u), h.Row(u))
+				CountMessage(c, layer)
+			}
+		})
+	}
 	// Aggregation phase: α_u = 𝒜(m_v : v ∈ N(u)).
 	agg := layer.Agg()
 	dim := layer.MsgDim()
-	tensor.ParallelFor(n, func(lo, hi int) {
+	tensor.ParallelForGrain(n, 4*dim, func(lo, hi int) {
+		fetched, flops := 0, int64(0)
 		for u := lo; u < hi; u++ {
 			dst := alpha.Row(u)
 			agg.Identity(dst)
@@ -155,19 +165,27 @@ func inferLayer(layer Layer, norm *GraphNorm, csr *graph.CSR, h, m, alpha, hNext
 				agg.Merge(dst, m.Row(int(v)))
 			}
 			agg.Finalize(dst, len(nbrs))
-			c.FetchVec(dim * len(nbrs))
-			c.AddFLOPs(int64(dim * len(nbrs)))
-			c.StoreVec(dim)
+			fetched += dim * len(nbrs)
+			flops += int64(dim * len(nbrs))
 		}
+		c.FetchVec(fetched)
+		c.AddFLOPs(flops)
+		c.StoreVec((hi - lo) * dim)
 	})
 	// Update phase: h' = act(𝒯(α, m)).
-	tensor.ParallelFor(n, func(lo, hi int) {
-		for u := lo; u < hi; u++ {
-			layer.Update(hNext.Row(u), alpha.Row(u), m.Row(u))
-			CountUpdate(c, layer)
-			c.VisitNode()
-		}
-	})
+	if batched != nil {
+		batched.BatchUpdate(hNext, alpha, m)
+		CountUpdates(c, layer, n)
+		c.VisitNodes(n)
+	} else {
+		tensor.ParallelForGrain(n, layer.MsgDim()*layer.OutDim(), func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				layer.Update(hNext.Row(u), alpha.Row(u), m.Row(u))
+				CountUpdate(c, layer)
+				c.VisitNode()
+			}
+		})
+	}
 	if norm != nil {
 		norm.Apply(hNext)
 	}
@@ -183,7 +201,7 @@ func InferSubset(layer Layer, norm *GraphNorm, g *graph.Graph, nodes []graph.Nod
 	}
 	agg := layer.Agg()
 	dim := layer.MsgDim()
-	tensor.ParallelForEach(nodes, func(u graph.NodeID) {
+	tensor.ParallelForEachGrain(nodes, 4*dim+layer.MsgDim()*layer.OutDim(), func(u graph.NodeID) {
 		dst := alpha.Row(int(u))
 		agg.Identity(dst)
 		nbrs := g.InNeighbors(u)
@@ -207,7 +225,7 @@ func InferSubset(layer Layer, norm *GraphNorm, g *graph.Graph, nodes []graph.Nod
 // ComputeMessages refreshes m_l rows for the listed nodes from h_l, used
 // after a subset of h changed.
 func ComputeMessages(layer Layer, nodes []graph.NodeID, h, m *tensor.Matrix, c *metrics.Counters) {
-	tensor.ParallelForEach(nodes, func(u graph.NodeID) {
+	tensor.ParallelForEachGrain(nodes, layer.InDim()*layer.MsgDim(), func(u graph.NodeID) {
 		layer.ComputeMessage(m.Row(int(u)), h.Row(int(u)))
 		CountMessage(c, layer)
 	})

@@ -95,7 +95,7 @@ func (g *GraphNorm) Apply(h *tensor.Matrix) {
 		mu, sigma = Stats(h, g.Eps)
 		g.Mu, g.Sigma = mu, sigma
 	}
-	tensor.ParallelFor(h.Rows, func(lo, hi int) {
+	tensor.ParallelForGrain(h.Rows, 4*h.Cols, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			g.applyRow(h.Row(u), mu, sigma)
 		}

@@ -1,0 +1,54 @@
+package inkstream
+
+import (
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// vecArena is a bump allocator for Apply-scoped payload vectors (old-message
+// clones, fan-out diffs, negated snapshots). Payloads created while
+// processing layer l are consumed while processing layer l+1 and are never
+// retained past the Apply call (groups drop their references when recycled,
+// and hooks must not retain payloads), so the whole arena is rewound at the
+// start of the next Apply instead of freeing vector by vector.
+//
+// alloc is safe for concurrent use (processTarget runs on the worker pool):
+// the offset is claimed atomically and the returned regions are disjoint.
+// Returned vectors have unspecified contents — every caller fully
+// overwrites them. When the backing array is exhausted mid-Apply the
+// allocator falls back to the Go heap and the next reset grows the backing
+// to the observed high-water mark.
+type vecArena struct {
+	buf []float32
+	off atomic.Int64
+}
+
+// alloc returns an n-element vector with unspecified contents.
+func (a *vecArena) alloc(n int) tensor.Vector {
+	if n == 0 {
+		return nil
+	}
+	end := a.off.Add(int64(n))
+	if end <= int64(len(a.buf)) {
+		return tensor.Vector(a.buf[end-int64(n) : end : end])
+	}
+	return make(tensor.Vector, n)
+}
+
+// clone returns an arena-backed copy of v.
+func (a *vecArena) clone(v tensor.Vector) tensor.Vector {
+	c := a.alloc(len(v))
+	copy(c, v)
+	return c
+}
+
+// reset rewinds the arena, growing the backing array to the high-water mark
+// of the previous cycle so steady-state Applies stop hitting the heap
+// fallback. Must not race with alloc.
+func (a *vecArena) reset() {
+	if used := a.off.Load(); used > int64(len(a.buf)) {
+		a.buf = make([]float32, used+used/4)
+	}
+	a.off.Store(0)
+}

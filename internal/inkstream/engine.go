@@ -2,6 +2,7 @@ package inkstream
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gnn"
 	"repro/internal/graph"
@@ -51,9 +52,36 @@ type Engine struct {
 	// Fig. 8's distribution resolved per layer (deeper layers prune more).
 	layerStats []ConditionStats
 
-	// Per-Apply scratch, valid only during one Apply call.
+	// Per-Apply scratch, valid only during one Apply call but retained
+	// across calls so the steady-state hot path does not allocate: the
+	// maps are cleared (not re-made) per batch, created lazily on the
+	// first non-empty delta.
 	insArcs  map[[2]graph.NodeID]struct{}
 	degDelta map[graph.NodeID]int
+	// snapMaps[l] holds snapshotRemovedSources' per-layer tables, cleared
+	// per batch; nil until the first deletion batch.
+	snapMaps []map[graph.NodeID]tensor.Vector
+	// negCache caches negated old messages within one enqueueChangedEdges
+	// pass; nil until the first accumulative deletion batch.
+	negCache map[graph.NodeID]tensor.Vector
+
+	// arena backs every Apply-scoped payload vector; rewound at the start
+	// of each Apply.
+	arena vecArena
+
+	// processLayer fan-in/fan-out buffers, reused across layers and
+	// Applies. outN[i]/outU[i] keep their capacity for group slot i; evBuf
+	// and uevBuf carry each layer's merged events into the next layer's
+	// grouping pass (safe to overwrite in place: the grouper has absorbed
+	// the previous layer's events before processLayer reuses the buffer).
+	outN   [][]Event
+	outU   [][]UserEvent
+	conds  []Condition
+	evBuf  []Event
+	uevBuf []UserEvent
+
+	// scratchPools[l] recycles processTarget worker scratch for layer l.
+	scratchPools []sync.Pool
 
 	// gr is the reusable epoch-stamped grouping table.
 	gr *grouper
@@ -89,6 +117,7 @@ func NewFromState(model *gnn.Model, g *graph.Graph, state *gnn.State, c *metrics
 	}}
 	e.gr = newGrouper(g.NumNodes())
 	e.layerStats = make([]ConditionStats, model.NumLayers())
+	e.scratchPools = make([]sync.Pool, model.NumLayers())
 	return e, nil
 }
 
@@ -218,6 +247,10 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 	}
 	L := e.model.NumLayers()
 
+	// Rewind the payload arena: every payload from the previous Apply is
+	// dead by now (groups and event buffers only reuse, never re-read).
+	e.arena.reset()
+
 	// Snapshot m⁻_{l,u} for every layer for the sources of removed arcs:
 	// their Del payloads must be the previous-timestamp messages even if
 	// the source is updated while processing an earlier layer. Taken
@@ -227,17 +260,28 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 	// Record which arcs are inserted (propagation from an affected source
 	// skips them — the changed-edge event carries the new message already)
 	// and per-node in-degree deltas (the mean aggregator's incremental
-	// formula needs the previous degree).
-	e.insArcs = make(map[[2]graph.NodeID]struct{})
-	e.degDelta = make(map[graph.NodeID]int)
-	defer func() { e.insArcs, e.degDelta = nil, nil }()
-	for _, ch := range delta {
-		for _, a := range e.arcsOf(ch) {
-			if ch.Insert {
-				e.insArcs[a] = struct{}{}
-				e.degDelta[a[1]]++
-			} else {
-				e.degDelta[a[1]]--
+	// formula needs the previous degree). The maps are created on the
+	// first non-empty delta and cleared in place afterwards; vertex-only
+	// batches never pay for them.
+	if len(e.insArcs) > 0 {
+		clear(e.insArcs)
+	}
+	if len(e.degDelta) > 0 {
+		clear(e.degDelta)
+	}
+	if len(delta) > 0 {
+		if e.insArcs == nil {
+			e.insArcs = make(map[[2]graph.NodeID]struct{})
+			e.degDelta = make(map[graph.NodeID]int)
+		}
+		for _, ch := range delta {
+			for _, a := range e.arcsOf(ch) {
+				if ch.Insert {
+					e.insArcs[a] = struct{}{}
+					e.degDelta[a[1]]++
+				} else {
+					e.degDelta[a[1]]--
+				}
 			}
 		}
 	}
@@ -274,13 +318,32 @@ func (e *Engine) arcsOf(ch graph.EdgeChange) [][2]graph.NodeID {
 }
 
 // snapshotRemovedSources clones the pre-batch message rows of every removed
-// arc's source node at every layer.
+// arc's source node at every layer. Insert-only (and empty) deltas return
+// nil without touching the tables; the per-layer maps and the clones are
+// reused storage, valid only until the next Apply.
 func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]tensor.Vector {
-	L := e.model.NumLayers()
-	out := make([]map[graph.NodeID]tensor.Vector, L)
-	for l := range out {
-		out[l] = make(map[graph.NodeID]tensor.Vector)
+	hasDel := false
+	for _, ch := range delta {
+		if !ch.Insert {
+			hasDel = true
+			break
+		}
 	}
+	if !hasDel {
+		return nil
+	}
+	L := e.model.NumLayers()
+	if e.snapMaps == nil {
+		e.snapMaps = make([]map[graph.NodeID]tensor.Vector, L)
+		for l := range e.snapMaps {
+			e.snapMaps[l] = make(map[graph.NodeID]tensor.Vector)
+		}
+	} else {
+		for l := range e.snapMaps {
+			clear(e.snapMaps[l])
+		}
+	}
+	out := e.snapMaps
 	for _, ch := range delta {
 		if ch.Insert {
 			continue
@@ -289,7 +352,7 @@ func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]te
 			src := a[0]
 			for l := 0; l < L; l++ {
 				if _, ok := out[l][src]; !ok {
-					out[l][src] = e.state.M[l].Row(int(src)).Clone()
+					out[l][src] = e.arena.clone(e.state.M[l].Row(int(src)))
 				}
 			}
 		}
@@ -305,7 +368,9 @@ func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]te
 func (e *Engine) enqueueChangedEdges(gr *grouper, l int, delta graph.Delta, oldMsg []map[graph.NodeID]tensor.Vector) {
 	agg := e.model.Layers[l].Agg()
 	dim := e.model.Layers[l].MsgDim()
-	negCache := make(map[graph.NodeID]tensor.Vector)
+	if len(e.negCache) > 0 {
+		clear(e.negCache)
+	}
 	for _, ch := range delta {
 		for _, a := range e.arcsOf(ch) {
 			src, dst := a[0], a[1]
@@ -318,11 +383,14 @@ func (e *Engine) enqueueChangedEdges(gr *grouper, l int, delta graph.Delta, oldM
 			case ch.Insert:
 				ev = Event{Op: OpUpdate, Target: dst, Payload: e.payload(e.state.M[l].Row(int(src)))}
 			default:
-				neg, ok := negCache[src]
+				neg, ok := e.negCache[src]
 				if !ok {
-					neg = make(tensor.Vector, dim)
+					if e.negCache == nil {
+						e.negCache = make(map[graph.NodeID]tensor.Vector)
+					}
+					neg = e.arena.alloc(dim)
 					tensor.Scale(neg, -1, oldMsg[l][src])
-					negCache[src] = neg
+					e.negCache[src] = neg
 				}
 				ev = Event{Op: OpUpdate, Target: dst, Payload: neg}
 			}
@@ -346,25 +414,36 @@ func (e *Engine) payload(p tensor.Vector) tensor.Vector {
 // independent after grouping, so they are processed in parallel; results
 // are merged in sorted-target order for determinism.
 func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
-	outN := make([][]Event, len(groups))
-	outU := make([][]UserEvent, len(groups))
-	conds := make([]Condition, len(groups))
+	n := len(groups)
+	// Grow the per-group fan-out tables to n slots, keeping each slot's
+	// accumulated capacity across layers and Apply calls.
+	for len(e.outN) < n {
+		e.outN = append(e.outN, nil)
+		e.outU = append(e.outU, nil)
+	}
+	outN, outU := e.outN, e.outU
+	if cap(e.conds) < n {
+		e.conds = make([]Condition, n)
+	}
+	conds := e.conds[:n]
 	body := func(lo, hi int) {
-		// Per-chunk scratch: one allocation set per worker chunk instead
-		// of per target.
-		sc := newScratch(e.model.Layers[l])
+		// Per-chunk scratch, recycled across chunks, layers and Applies.
+		sc := e.getScratch(l)
 		for i := lo; i < hi; i++ {
-			outN[i], outU[i], conds[i] = e.processTarget(l, groups[i], sc)
+			outN[i], outU[i], conds[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0])
 		}
+		e.scratchPools[l].Put(sc)
 	}
 	if e.opts.Sequential || e.opts.DisableGrouping {
-		body(0, len(groups))
+		body(0, n)
 	} else {
-		tensor.ParallelFor(len(groups), body)
+		tensor.ParallelForGrain(n, 4*e.model.Layers[l].MsgDim(), body)
 	}
-	var nextN []Event
-	var nextU []UserEvent
-	for i := range groups {
+	// Merge into the carried-event buffers. The buffers may still hold the
+	// events carried INTO this layer, but the grouper consumed those before
+	// processLayer ran, so overwriting them in place is safe.
+	nextN, nextU := e.evBuf[:0], e.uevBuf[:0]
+	for i := 0; i < n; i++ {
 		nextN = append(nextN, outN[i]...)
 		nextU = append(nextU, outU[i]...)
 		e.stats.Add(conds[i])
@@ -373,7 +452,16 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 			e.opts.Trace(l, groups[i].target, conds[i])
 		}
 	}
+	e.evBuf, e.uevBuf = nextN, nextU
 	return nextN, nextU
+}
+
+// getScratch fetches (or lazily builds) worker scratch for layer l.
+func (e *Engine) getScratch(l int) *scratch {
+	if v := e.scratchPools[l].Get(); v != nil {
+		return v.(*scratch)
+	}
+	return newScratch(e.model.Layers[l])
 }
 
 // scratch is the per-worker-chunk temporary storage of processTarget: the
@@ -395,8 +483,9 @@ func newScratch(layer gnn.Layer) *scratch {
 
 // processTarget handles all events heading to one node in one layer:
 // Algorithm 1 lines 4–21 plus the user-hook application and the next-layer
-// propagation of Sec. II-B2.
-func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevts []UserEvent, cond Condition) {
+// propagation of Sec. II-B2. Emitted events are appended to evts/uevts
+// (reusable buffers owned by the caller's group slot).
+func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts []UserEvent) ([]Event, []UserEvent, Condition) {
 	layer := e.model.Layers[l]
 	agg := layer.Agg()
 	u := g.target
@@ -404,7 +493,7 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevt
 	e.c.AddEvents(len(g.dels) + len(g.adds) + g.nUpd + len(g.user))
 
 	alphaChanged := false
-	cond = CondSelfOnly
+	cond := CondSelfOnly
 	if g.hasNative() {
 		if agg.Monotonic() {
 			if e.opts.DisableGrouping {
@@ -431,7 +520,7 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevt
 		if g.hasNative() {
 			cond = CondPruned
 		}
-		return nil, nil, cond
+		return evts, uevts, cond
 	}
 
 	// Recompute the layer output h_{l+1,u} = act(𝒯(α, m)) from the
@@ -450,26 +539,26 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevt
 	if !hChanged && !e.opts.DisablePruning {
 		// The embedding survived the α change (e.g. clamped by ReLU):
 		// the node is resilient at the output level; prune.
-		return nil, nil, cond
+		return evts, uevts, cond
 	}
 	if l+1 >= e.model.NumLayers() {
-		return nil, nil, cond
+		return evts, uevts, cond
 	}
 
 	// Refresh the node's next-layer message and fan out events. oldM (and
 	// the fan-out diff) escape into event payloads shared by every event
-	// from this node, so they are real per-node allocations — the paper's
-	// one-payload-per-source memory model.
+	// from this node — the paper's one-payload-per-source memory model —
+	// and live on the Apply-scoped arena.
 	next := e.model.Layers[l+1]
 	mRow := e.state.M[l+1].Row(int(u))
-	oldM := mRow.Clone()
+	oldM := e.arena.clone(mRow)
 	next.ComputeMessage(mRow, hRow)
 	gnn.CountMessage(e.c, next)
 	if oldM.Equal(mRow) && !e.opts.DisablePruning {
-		return nil, nil, cond
+		return evts, uevts, cond
 	}
-	evts = e.fanOut(u, next.Agg(), oldM, mRow)
-	uevts = e.hooks.Propagate(l, u, oldM, mRow)
+	evts = e.fanOut(u, next.Agg(), oldM, mRow, evts)
+	uevts = append(uevts, e.hooks.Propagate(l, u, oldM, mRow)...)
 	return evts, uevts, cond
 }
 
@@ -477,12 +566,11 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch) (evts []Event, uevt
 // out-neighbors, skipping arcs inserted in this batch (their changed-edge
 // events already carry the new message — the duplicate-event rule of
 // Sec. II-B2).
-func (e *Engine) fanOut(u graph.NodeID, nextAgg gnn.Aggregator, oldM, newM tensor.Vector) []Event {
+func (e *Engine) fanOut(u graph.NodeID, nextAgg gnn.Aggregator, oldM, newM tensor.Vector, evts []Event) []Event {
 	nbrs := e.g.OutNeighbors(u)
-	evts := make([]Event, 0, 2*len(nbrs))
 	var diff tensor.Vector
 	if !nextAgg.Monotonic() {
-		diff = make(tensor.Vector, len(newM))
+		diff = e.arena.alloc(len(newM))
 		tensor.Sub(diff, newM, oldM)
 	}
 	for _, v := range nbrs {

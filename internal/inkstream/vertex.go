@@ -15,6 +15,9 @@ type VertexUpdate struct {
 }
 
 func (e *Engine) validateVertexUpdates(ups []VertexUpdate) error {
+	if len(ups) == 0 {
+		return nil
+	}
 	seen := make(map[graph.NodeID]struct{}, len(ups))
 	for i, up := range ups {
 		if int(up.Node) < 0 || int(up.Node) >= e.g.NumNodes() {
@@ -41,20 +44,23 @@ func (e *Engine) applyVertexUpdates(ups []VertexUpdate) ([]Event, []UserEvent) {
 		return nil, nil
 	}
 	layer0 := e.model.Layers[0]
-	var evts []Event
-	var uevts []UserEvent
+	// Build the initial events directly in the carried-event buffers; the
+	// layer loop consumes them into the grouper before processLayer reuses
+	// the same buffers for its output.
+	evts, uevts := e.evBuf[:0], e.uevBuf[:0]
 	for _, up := range ups {
 		e.state.H[0].SetRow(int(up.Node), up.X)
 		mRow := e.state.M[0].Row(int(up.Node))
-		oldM := mRow.Clone()
+		oldM := e.arena.clone(mRow)
 		layer0.ComputeMessage(mRow, up.X)
 		gnn.CountMessage(e.c, layer0)
 		if oldM.Equal(mRow) {
 			continue
 		}
-		evts = append(evts, e.fanOut(up.Node, layer0.Agg(), oldM, mRow)...)
+		evts = e.fanOut(up.Node, layer0.Agg(), oldM, mRow, evts)
 		uevts = append(uevts, e.hooks.Propagate(-1, up.Node, oldM, mRow)...)
 	}
+	e.evBuf, e.uevBuf = evts, uevts
 	return evts, uevts
 }
 

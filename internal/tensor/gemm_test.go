@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// sprinkledMatrix returns a rows×cols matrix of random values with exact
+// zeros sprinkled in, exercising the kernels' zero-skip paths.
+func sprinkledMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(4) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = -0.0
+		default:
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// gemmShapes covers odd shapes: non-multiples of the row tile and column
+// block, 1×1, and zero-dimension edges.
+var gemmShapes = [][3]int{
+	{0, 0, 0}, {0, 4, 4}, {4, 0, 4}, {4, 4, 0},
+	{1, 1, 1}, {1, 7, 1}, {2, 3, 5}, {3, 1, 9},
+	{4, 4, 4}, {5, 5, 5}, {7, 16, 3}, {8, 8, 8},
+	{9, 33, 17}, {13, 2, 31}, {16, 17, 16}, {17, 64, 33},
+	{31, 31, 31}, {64, 5, 127},
+}
+
+// TestMatMulMatchesVecMat asserts that the blocked GEMM equals the per-row
+// VecMat kernel bit-for-bit across odd shapes. This is the invariant the
+// incremental engine's Verify(0) depends on: batched full inference and
+// per-row incremental refresh must produce identical bits.
+func TestMatMulMatchesVecMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range gemmShapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := sprinkledMatrix(rng, n, k)
+		b := sprinkledMatrix(rng, k, m)
+		c := NewMatrix(n, m)
+		c.Fill(99) // GEMM must fully overwrite
+		MatMul(c, a, b)
+		want := NewVector(m)
+		for i := 0; i < n; i++ {
+			VecMat(want, a.Row(i), b)
+			if !c.Row(i).Equal(want) {
+				t.Fatalf("shape %dx%dx%d: row %d: MatMul %v != VecMat %v", n, k, m, i, c.Row(i), want)
+			}
+		}
+	}
+}
+
+// TestMatMulBiasActMatchesPerRow asserts the fused epilogue variants equal
+// the per-row VecMat + Add + activation sequence bit-for-bit.
+func TestMatMulBiasActMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	acts := map[string]Activation{"nil": nil, "relu": ReLU, "identity": Identity}
+	for _, sh := range gemmShapes {
+		n, k, m := sh[0], sh[1], sh[2]
+		a := sprinkledMatrix(rng, n, k)
+		b := sprinkledMatrix(rng, k, m)
+		bias := RandVector(rng, m, 1)
+		for name, act := range acts {
+			c := NewMatrix(n, m)
+			MatMulBiasAct(c, a, b, bias, act)
+			want := NewVector(m)
+			for i := 0; i < n; i++ {
+				VecMat(want, a.Row(i), b)
+				Add(want, want, bias)
+				if act != nil {
+					act(want, want)
+				}
+				if !c.Row(i).Equal(want) {
+					t.Fatalf("shape %dx%dx%d act=%s: row %d mismatch", n, k, m, name, i)
+				}
+			}
+		}
+		// nil bias, with activation.
+		c := NewMatrix(n, m)
+		MatMulBiasAct(c, a, b, nil, ReLU)
+		want := NewVector(m)
+		for i := 0; i < n; i++ {
+			VecMat(want, a.Row(i), b)
+			ReLU(want, want)
+			if !c.Row(i).Equal(want) {
+				t.Fatalf("shape %dx%dx%d nil-bias: row %d mismatch", n, k, m, i)
+			}
+		}
+	}
+}
+
+// TestParallelMatMulMatchesSequential asserts the row-sharded parallel
+// kernels are bit-identical to the sequential ones regardless of worker
+// count (each output row is computed whole by one worker).
+func TestParallelMatMulMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	oldP, oldMin := Parallelism, MinChunkWork
+	defer func() { Parallelism, MinChunkWork = oldP, oldMin }()
+	MinChunkWork = 1 // force splitting even for small shapes
+	for _, w := range []int{1, 2, 3, 8} {
+		Parallelism = w
+		for _, sh := range [][3]int{{5, 5, 5}, {17, 33, 9}, {64, 64, 64}, {130, 32, 70}} {
+			n, k, m := sh[0], sh[1], sh[2]
+			a := sprinkledMatrix(rng, n, k)
+			b := sprinkledMatrix(rng, k, m)
+			seq := NewMatrix(n, m)
+			MatMul(seq, a, b)
+			par := NewMatrix(n, m)
+			ParallelMatMul(par, a, b)
+			if !par.Equal(seq) {
+				t.Fatalf("w=%d shape %v: parallel != sequential", w, sh)
+			}
+			parF := NewMatrix(n, m)
+			bias := RandVector(rng, m, 1)
+			ParallelMatMulBiasAct(parF, a, b, bias, ReLU)
+			seqF := NewMatrix(n, m)
+			MatMulBiasAct(seqF, a, b, bias, ReLU)
+			if !parF.Equal(seqF) {
+				t.Fatalf("w=%d shape %v: parallel fused != sequential fused", w, sh)
+			}
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2)) },
+		func() { MatMulBiasAct(NewMatrix(2, 2), NewMatrix(2, 2), NewMatrix(2, 2), NewVector(3), nil) },
+		func() { ParallelMatMul(NewMatrix(3, 2), NewMatrix(2, 2), NewMatrix(2, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("shape mismatch must panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGetScratchReuse(t *testing.T) {
+	m := GetScratch(8, 16)
+	if m.Rows != 8 || m.Cols != 16 || len(m.Data) != 128 {
+		t.Fatalf("scratch shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	PutScratch(m)
+	// A smaller request may reuse the same backing array, reshaped.
+	s := GetScratch(4, 4)
+	if s.Rows != 4 || s.Cols != 4 || len(s.Data) != 16 {
+		t.Fatalf("reshaped scratch %dx%d len %d", s.Rows, s.Cols, len(s.Data))
+	}
+	PutScratch(s)
+}
+
+func BenchmarkGEMMKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, sh := range [][3]int{{256, 256, 256}, {2048, 256, 256}, {2048, 32, 32}} {
+		a := RandMatrix(rng, sh[0], sh[1], 1)
+		w := RandMatrix(rng, sh[1], sh[2], 1)
+		c := NewMatrix(sh[0], sh[2])
+		b.Run(fmt.Sprintf("%dx%dx%d", sh[0], sh[1], sh[2]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MatMul(c, a, w)
+			}
+		})
+	}
+}

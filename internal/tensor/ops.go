@@ -148,30 +148,11 @@ func VecMat(dst Vector, x Vector, m *Matrix) {
 // AddBias computes dst[i] = x[i] + bias[i].
 func AddBias(dst, x, bias Vector) { Add(dst, x, bias) }
 
-// MatMul computes c = a * b sequentially. Shapes: a is (n x k), b is
-// (k x m), c is (n x m). For large n prefer ParallelMatMul.
+// MatMul computes c = a * b sequentially with the register-tiled kernel
+// (see gemm.go). Shapes: a is (n x k), b is (k x m), c is (n x m). For
+// large n prefer ParallelMatMul. Each output row is bit-identical to
+// VecMat(c.Row(i), a.Row(i), b).
 func MatMul(c, a, b *Matrix) {
-	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d * %dx%d -> %dx%d",
-			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
-	}
-	matMulRows(c, a, b, 0, a.Rows)
-}
-
-// matMulRows computes rows [lo, hi) of c = a*b using an ikj loop order that
-// streams b rows through cache.
-func matMulRows(c, a, b *Matrix, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ci := c.Row(i)
-		for j := range ci {
-			ci[j] = 0
-		}
-		ai := a.Row(i)
-		for k, aik := range ai {
-			if aik == 0 {
-				continue
-			}
-			Axpy(ci, aik, b.Row(k))
-		}
-	}
+	checkMatMulShapes("MatMul", c, a, b)
+	gemmRows(c, a, b, 0, a.Rows)
 }

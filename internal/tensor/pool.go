@@ -35,3 +35,27 @@ func (vp *VecPool) Put(v Vector) {
 
 // Dim returns the pooled vector dimension.
 func (vp *VecPool) Dim() int { return vp.dim }
+
+// matScratch recycles whole scratch matrices across batched-layer calls.
+// Unlike VecPool it is shape-agnostic: GetScratch reshapes a pooled matrix
+// whose backing array is large enough, so one pool serves every layer.
+var matScratch sync.Pool
+
+// GetScratch returns a rows×cols matrix with unspecified contents; callers
+// must fully overwrite it and release it with PutScratch. Used by the
+// batched layer kernels for GEMM intermediates.
+func GetScratch(rows, cols int) *Matrix {
+	need := rows * cols
+	if v := matScratch.Get(); v != nil {
+		m := v.(*Matrix)
+		if cap(m.Data) >= need {
+			m.Rows, m.Cols, m.Data = rows, cols, m.Data[:need]
+			return m
+		}
+	}
+	return NewMatrix(rows, cols)
+}
+
+// PutScratch returns a matrix obtained from GetScratch to the pool. The
+// caller must not use m afterwards.
+func PutScratch(m *Matrix) { matScratch.Put(m) }

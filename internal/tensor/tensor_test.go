@@ -249,36 +249,8 @@ func TestMatMulShapePanic(t *testing.T) {
 	MatMul(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2))
 }
 
-func TestParallelMatMulMatchesSequential(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	for _, shape := range [][3]int{{1, 1, 1}, {7, 5, 3}, {64, 32, 48}, {200, 100, 64}} {
-		a := RandMatrix(rng, shape[0], shape[1], 1)
-		b := RandMatrix(rng, shape[1], shape[2], 1)
-		seq := NewMatrix(shape[0], shape[2])
-		par := NewMatrix(shape[0], shape[2])
-		MatMul(seq, a, b)
-		ParallelMatMul(par, a, b)
-		if !seq.ApproxEqual(par, 1e-6) {
-			t.Errorf("shape %v: parallel result differs (max diff %g)", shape, seq.MaxAbsDiff(par))
-		}
-	}
-}
-
-func TestParallelForCoversRange(t *testing.T) {
-	for _, n := range []int{0, 1, 5, 100, 1000} {
-		hit := make([]int32, n)
-		ParallelFor(n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				hit[i]++
-			}
-		})
-		for i, h := range hit {
-			if h != 1 {
-				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
-			}
-		}
-	}
-}
+// TestParallelMatMulMatchesSequential and TestParallelForCoversRange moved
+// to parallel_test.go / gemm_test.go as strict bit-exactness variants.
 
 func TestParallelForEach(t *testing.T) {
 	items := []int{0, 1, 2, 3, 4, 5, 6, 7}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, vet, build, full tests, and the race detector on
+# the packages with parallel hot paths. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [[ -n "$fmt" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/tensor ./internal/gnn ./internal/inkstream
+
+echo "check.sh: all gates passed"
