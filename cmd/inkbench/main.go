@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func run(args []string) error {
 		ginLayers = fs.Int("gin-layers", 5, "GIN depth")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
+		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: inkbench [flags] <experiment>...\n\nexperiments: %s, all\n\nflags:\n",
@@ -93,6 +95,17 @@ func run(args []string) error {
 			return err
 		}
 		defer sink.Close()
+	}
+	if *profPath != "" {
+		f, err := os.Create(*profPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	for _, id := range ids {
 		t0 := time.Now()

@@ -8,6 +8,11 @@
 //	inkserve -file snapshot.inks -model sage -agg mean
 //	inkserve -bundle engine.inkb            # resume a persisted engine
 //	inkserve -dataset PM -save-bundle e.inkb -addr :8080
+//	inkserve -dataset PM -pprof -slow-update 5ms   # observability extras
+//
+// Every server exposes Prometheus metrics at GET /metrics; -slow-update /
+// -trace-updates log per-layer update traces and -pprof mounts the runtime
+// profiler under /debug/pprof/ (see DESIGN.md §7).
 //
 // With -save-bundle the bootstrapped engine is persisted before serving,
 // so a later -bundle start skips the initial full-graph inference. See
@@ -20,6 +25,7 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -67,6 +73,9 @@ func buildServer(args []string) (http.Handler, string, error) {
 		batch      = fs.Int("batch", 0, "micro-batch size for /v1/submit (0 disables batching)")
 		staleness  = fs.Duration("staleness", 0, "max staleness before a pending /v1/submit batch flushes")
 		walPath    = fs.String("wal", "", "write-ahead log path: applied batches are journaled, and with -bundle the log is replayed on startup")
+		slowUpdate = fs.Duration("slow-update", 0, "log a full per-layer trace for updates slower than this (0 disables)")
+		traceAll   = fs.Bool("trace-updates", false, "log a per-layer trace for every update (verbose)")
+		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -186,5 +195,21 @@ func buildServer(args []string) (http.Handler, string, error) {
 		}()
 		log.Printf("micro-batching enabled: batch=%d staleness=%v", *batch, *staleness)
 	}
-	return srv.Handler(), *addr, nil
+	if *slowUpdate > 0 || *traceAll {
+		srv.EnableSlowUpdateLog(*slowUpdate, *traceAll, nil)
+		log.Printf("update tracing enabled: slow-update=%v trace-all=%v", *slowUpdate, *traceAll)
+	}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+	return handler, *addr, nil
 }

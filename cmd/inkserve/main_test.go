@@ -121,6 +121,38 @@ func statsEdges(t *testing.T, base string) int {
 	return out.Edges
 }
 
+// Observability flags: /metrics is always mounted; -pprof adds the
+// profiler endpoints.
+func TestBuildServerObservability(t *testing.T) {
+	h, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32",
+		"-pprof", "-slow-update", "1h", "-trace-updates"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	if code := get(t, ts, "/metrics"); code != http.StatusOK {
+		t.Errorf("metrics status %d", code)
+	}
+	if code := get(t, ts, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index status %d", code)
+	}
+	if code := get(t, ts, "/v1/healthz"); code != http.StatusOK {
+		t.Errorf("healthz status %d (pprof mux must keep API routes)", code)
+	}
+
+	// Without -pprof the profiler stays unmounted.
+	h2, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	if code := get(t, ts2, "/debug/pprof/"); code == http.StatusOK {
+		t.Error("pprof mounted without -pprof")
+	}
+}
+
 func TestBuildServerErrors(t *testing.T) {
 	cases := [][]string{
 		{},                                 // no source

@@ -1,11 +1,14 @@
 // Command inkstat prints structural statistics of a dataset profile or a
 // saved snapshot: size, degree distribution and k-hop neighborhood growth
-// — the quantities that drive InkStream's affected-area behaviour.
+// — the quantities that drive InkStream's affected-area behaviour. With
+// -watch it instead polls a running inkserve's /metrics endpoint and
+// prints a one-line rolling serving summary per interval.
 //
 // Usage:
 //
 //	inkstat -dataset Cora
 //	inkstat -file cora.inks -khop 3
+//	inkstat -watch http://localhost:8080 -interval 2s
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
@@ -35,9 +39,16 @@ func run(args []string) error {
 		seed  = fs.Int64("seed", 1, "generator/sampling seed")
 		khop  = fs.Int("khop", 4, "report k-hop neighborhood sizes up to this k")
 		probe = fs.Int("probes", 20, "random seed vertices for the k-hop report")
+
+		watch    = fs.String("watch", "", "inkserve base URL to poll for a rolling /metrics summary (alternative to -dataset/-file)")
+		interval = fs.Duration("interval", 2*time.Second, "polling interval with -watch")
+		samples  = fs.Int("samples", 0, "stop after this many -watch lines (0 runs forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *watch != "" {
+		return watchLoop(os.Stdout, *watch, *interval, *samples)
 	}
 	var g *graph.Graph
 	switch {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// watchLoop polls an inkserve /metrics endpoint every interval and prints
+// a one-line rolling summary per window: update rate, windowed p99 update
+// latency, event throughput and the pruned-visit ratio (the fraction of
+// touched nodes InkStream discarded without recomputation — the paper's
+// headline saving). samples bounds the number of printed lines (<= 0 runs
+// until the scrape fails).
+func watchLoop(w io.Writer, base string, interval time.Duration, samples int) error {
+	if interval <= 0 {
+		return fmt.Errorf("watch interval must be positive, got %v", interval)
+	}
+	url := strings.TrimSuffix(base, "/") + "/metrics"
+	prev, err := scrapeMetrics(url)
+	if err != nil {
+		return err
+	}
+	printed := 0
+	for samples <= 0 || printed < samples {
+		time.Sleep(interval)
+		cur, err := scrapeMetrics(url)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, watchLine(prev, cur, interval))
+		printed++
+		prev = cur
+	}
+	return nil
+}
+
+func scrapeMetrics(url string) (obs.Samples, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %s", url, resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// watchLine summarises one scrape window. Rates come from counter deltas;
+// the p99 comes from the windowed difference of the latency histogram's
+// cumulative buckets (falling back to the all-time histogram when the
+// window saw no updates).
+func watchLine(prev, cur obs.Samples, dt time.Duration) string {
+	delta := func(name string) float64 {
+		c, _ := cur.Get(name)
+		p, _ := prev.Get(name)
+		return c - p
+	}
+	secs := dt.Seconds()
+	updates := delta("inkstream_updates_total")
+
+	les, cumCur := cur.Buckets("inkstream_update_latency_seconds")
+	_, cumPrev := prev.Buckets("inkstream_update_latency_seconds")
+	p99 := 0.0
+	if len(cumPrev) == len(cumCur) {
+		dcum := make([]float64, len(cumCur))
+		for i := range dcum {
+			dcum[i] = cumCur[i] - cumPrev[i]
+		}
+		p99 = obs.BucketQuantile(les, dcum, 0.99)
+	}
+	if p99 == 0 {
+		p99 = obs.BucketQuantile(les, cumCur, 0.99)
+	}
+
+	// Event throughput: the engine-level counter when exported, otherwise
+	// the per-batch events histogram sum.
+	events := delta("inkstream_events_processed_total")
+	if events == 0 {
+		events = delta("inkstream_update_events_sum")
+	}
+
+	prunedRatio := visitRatio(prev, cur, "pruned")
+
+	pending, _ := cur.Get("inkstream_scheduler_pending")
+	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f",
+		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending)
+}
+
+// visitRatio returns the windowed share of node visits resolved as cond,
+// falling back to the cumulative share when the window saw none.
+func visitRatio(prev, cur obs.Samples, cond string) float64 {
+	share := func(ss obs.Samples) (condN, total float64) {
+		for _, s := range ss.Family("inkstream_node_visits_total") {
+			total += s.Value
+			if s.Labels["condition"] == cond {
+				condN = s.Value
+			}
+		}
+		return condN, total
+	}
+	curC, curT := share(cur)
+	prevC, prevT := share(prev)
+	if dt := curT - prevT; dt > 0 {
+		return (curC - prevC) / dt
+	}
+	if curT > 0 {
+		return curC / curT
+	}
+	return 0
+}
+
+// fmtSeconds renders a latency in seconds at a natural unit.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

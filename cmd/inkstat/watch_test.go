@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// TestWatchLoop polls a live in-process inkserve and checks the rolling
+// summary lines carry the expected fields.
+func TestWatchLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := dataset.GenerateRMAT(rng, 120, 500, dataset.DefaultRMAT)
+	feats := dataset.NewFeatures(rng, 120, 6)
+	model := gnn.NewGCN(rng, 6, 12, gnn.NewAggregator(gnn.AggMax))
+	var c metrics.Counters
+	eng, err := inkstream.New(model, g, feats.X, &c, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precompute an insert/delete toggle stream before serving starts, so
+	// no goroutine reads the graph while the server mutates it.
+	var bodies []string
+	for u := 0; u < g.NumNodes() && len(bodies) < 100; u++ {
+		for v := u + 1; v < g.NumNodes() && len(bodies) < 100; v++ {
+			if g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				continue
+			}
+			bodies = append(bodies,
+				`{"changes":[{"u":`+itoa(u)+`,"v":`+itoa(v)+`,"insert":true}]}`,
+				`{"changes":[{"u":`+itoa(u)+`,"v":`+itoa(v)+`,"insert":false}]}`)
+		}
+	}
+
+	srv := server.New(eng, &c)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Background updates so the watcher sees a moving window.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i = (i + 1) % len(bodies) {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/update", "application/json", strings.NewReader(bodies[i]))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	var out bytes.Buffer
+	if err := watchLoop(&out, ts.URL, 20*time.Millisecond, 3); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		for _, field := range []string{"upd/s=", "p99=", "events/s=", "pruned=", "pending="} {
+			if !strings.Contains(line, field) {
+				t.Errorf("line %q missing %s", line, field)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	var b [8]byte
+	i := len(b)
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestWatchLoopErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := watchLoop(&out, "http://127.0.0.1:0", time.Millisecond, 1); err == nil {
+		t.Error("unreachable server accepted")
+	}
+	if err := watchLoop(&out, "http://x", 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

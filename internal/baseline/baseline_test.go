@@ -8,6 +8,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -174,5 +175,32 @@ func TestFusedWorkingSetGrowsWithDepth(t *testing.T) {
 	deep := &Fused{Model: gnn.NewGIN(rng, 16, 16, 5, gnn.NewAggregator(gnn.AggMax))}
 	if deep.WorkingSetBytes(1000, 5000) <= shallow.WorkingSetBytes(1000, 5000) {
 		t.Error("working set must grow with depth")
+	}
+}
+
+// TestKHopRecordsObserver: the baseline feeds the same observer histograms
+// as the engine, so served comparisons are like-for-like.
+func TestKHopRecordsObserver(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(rng, 40, 120)
+	x := tensor.RandMatrix(rng, 40, 5, 1)
+	model := gnn.NewGCN(rng, 5, 8, gnn.NewAggregator(gnn.AggMax))
+	kh, err := NewKHop(model, g, x, &metrics.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kh.Obs = obs.NewObserver()
+	delta := graph.RandomDelta(rng, g, 3)
+	if err := kh.Update(delta); err != nil {
+		t.Fatal(err)
+	}
+	if kh.Obs.Updates() != 1 {
+		t.Fatalf("observer recorded %d updates", kh.Obs.Updates())
+	}
+	if s := kh.Obs.UpdateLatency.Snapshot(); s.Count != 1 || s.Max <= 0 {
+		t.Errorf("latency histogram %+v", s)
+	}
+	if s := kh.Obs.Events.Snapshot(); s.Sum != int64(kh.LastAffected) {
+		t.Errorf("events sum = %d, want affected %d", s.Sum, kh.LastAffected)
 	}
 }

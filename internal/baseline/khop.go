@@ -2,10 +2,12 @@ package baseline
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -19,6 +21,11 @@ import (
 type KHop struct {
 	Model *gnn.Model
 	C     *metrics.Counters
+	// Obs, when set, records per-update latency and affected-area size
+	// into the same histograms the InkStream engine feeds, so serving and
+	// benchmark comparisons observe both methods like-for-like (nil
+	// disables recording; baselines carry no per-layer trace).
+	Obs *obs.Observer
 
 	g   *graph.Graph
 	x   *tensor.Matrix
@@ -57,6 +64,10 @@ func (k *KHop) Output() *tensor.Matrix { return k.out }
 
 // Update applies ΔG and recomputes the affected area from scratch.
 func (k *KHop) Update(delta graph.Delta) error {
+	var t0 time.Time
+	if k.Obs != nil {
+		t0 = time.Now()
+	}
 	if err := delta.Validate(k.g); err != nil {
 		return err
 	}
@@ -88,6 +99,9 @@ func (k *KHop) Update(delta graph.Delta) error {
 	for _, u := range sets[L] {
 		copy(k.out.Row(int(u)), k.scratch.H[L].Row(int(u)))
 		k.C.StoreVec(k.Model.OutDim())
+	}
+	if k.Obs != nil {
+		k.Obs.RecordLatency(time.Since(t0), len(delta), int64(k.LastAffected))
 	}
 	return nil
 }

@@ -3,10 +3,12 @@ package inkstream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -34,6 +36,13 @@ type Options struct {
 	// target order, from a single goroutine). For observability and
 	// debugging; keep it fast.
 	Trace func(layer int, node graph.NodeID, cond Condition)
+	// Observer, when set, records every Apply into the serving-path
+	// latency/size histograms and fills a per-layer obs.Trace (phase
+	// timings, event traffic, condition counts) that the observer emits
+	// for slow updates. The trace buffer is engine-owned and reused, so
+	// steady-state observation does not allocate; see SetObserver to
+	// install one after construction.
+	Observer *obs.Observer
 }
 
 // Engine holds the incrementally maintained inference state for one model
@@ -85,6 +94,11 @@ type Engine struct {
 
 	// gr is the reusable epoch-stamped grouping table.
 	gr *grouper
+
+	// obs records per-update latency and traces; trace is the reusable
+	// per-Apply span buffer it emits (nil obs disables both).
+	obs   *obs.Observer
+	trace obs.Trace
 }
 
 // New bootstraps an engine with a full-graph inference over g and x (the
@@ -118,8 +132,19 @@ func NewFromState(model *gnn.Model, g *graph.Graph, state *gnn.State, c *metrics
 	e.gr = newGrouper(g.NumNodes())
 	e.layerStats = make([]ConditionStats, model.NumLayers())
 	e.scratchPools = make([]sync.Pool, model.NumLayers())
+	e.obs = opts.Observer
+	e.trace.CondNames = ConditionNames()
 	return e, nil
 }
+
+// SetObserver installs (or, with nil, removes) the serving-path observer
+// after construction; the HTTP server uses this to share one observer
+// between the engine and its /metrics registry. Not safe to call
+// concurrently with Apply.
+func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
+
+// Observer returns the installed observer (nil when observability is off).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
 
 func checkNorms(model *gnn.Model) error {
 	for l := range model.Layers {
@@ -239,6 +264,16 @@ func (e *Engine) UpdateVertices(ups []VertexUpdate) error { return e.Apply(nil, 
 // Apply processes edge changes and vertex-feature updates as one batch
 // between two timestamps.
 func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
+	// Observability: with an observer installed, every phase below is
+	// timed into the engine-owned reusable trace (no allocation) and the
+	// batch is recorded into the latency/size histograms at the end. A few
+	// time.Now calls per update keep the overhead well under the <5%
+	// budget the observability layer is held to (BenchmarkApplyObservability).
+	observing := e.obs != nil
+	var t0, phase0 time.Time
+	if observing {
+		t0 = time.Now()
+	}
 	if err := delta.Validate(e.g); err != nil {
 		return err
 	}
@@ -246,6 +281,12 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 		return err
 	}
 	L := e.model.NumLayers()
+	if observing {
+		e.trace.Reset(L)
+		e.trace.DeltaEdges = len(delta)
+		e.trace.VertexUpdates = len(vups)
+		phase0 = time.Now()
+	}
 
 	// Rewind the payload arena: every payload from the previous Apply is
 	// dead by now (groups and event buffers only reuse, never re-read).
@@ -289,11 +330,38 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 	if err := delta.Apply(e.g); err != nil {
 		return err // unreachable after Validate, but fail safe
 	}
+	if observing {
+		e.trace.DeltaApply = time.Since(phase0)
+		phase0 = time.Now()
+	}
 
 	// Vertex updates produce the initial layer-0 events.
 	carried, carriedUser := e.applyVertexUpdates(vups)
+	if observing {
+		e.trace.VertexApply = time.Since(phase0)
+	}
+
+	// Changed-edge events are re-enqueued at every layer; precompute the
+	// per-layer count once for the trace.
+	nArcs := len(delta)
+	if e.g.Undirected {
+		nArcs *= 2
+	}
 
 	for l := 0; l < L; l++ {
+		var span *obs.LayerSpan
+		var bytes0 int64
+		var conds0 ConditionStats
+		if observing {
+			span = &e.trace.Layers[l]
+			span.EventsIn = int64(nArcs + len(carried))
+			span.UserEventsIn = int64(len(carriedUser))
+			if e.c != nil {
+				bytes0 = e.c.BytesFetched.Load()
+			}
+			conds0 = e.layerStats[l]
+			phase0 = time.Now()
+		}
 		e.gr.begin(e.model.Layers[l].MsgDim())
 		e.enqueueChangedEdges(e.gr, l, delta, oldMsg)
 		for _, ev := range carried {
@@ -305,6 +373,22 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 		}
 		groups := e.gr.finish(e.hooks)
 		carried, carriedUser = e.processLayer(l, groups)
+		if observing {
+			span.Elapsed = time.Since(phase0)
+			span.EventsOut = int64(len(carried))
+			if e.c != nil {
+				span.BytesFetched = e.c.BytesFetched.Load() - bytes0
+			}
+			for c := 0; c < int(numConditions); c++ {
+				n := e.layerStats[l].Counts[c] - conds0.Counts[c]
+				span.Cond[c] = n
+				span.Nodes += n
+			}
+		}
+	}
+	if observing {
+		e.trace.Total = time.Since(t0)
+		e.obs.RecordUpdate(&e.trace)
 	}
 	return nil
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package inkstream
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package inkstream
+
+// raceEnabled gates allocation-count assertions: race instrumentation
+// inhibits inlining and makes escape analysis more conservative, so
+// AllocsPerRun measures the instrumentation, not the code under test.
+const raceEnabled = true

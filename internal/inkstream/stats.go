@@ -1,6 +1,10 @@
 package inkstream
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Condition classifies how one visited node in one layer was handled — the
 // taxonomy behind the paper's Fig. 8 and the pruning statistics of
@@ -28,6 +32,20 @@ const (
 
 	numConditions
 )
+
+// The taxonomy must fit the fixed condition array of an obs.LayerSpan.
+var _ [obs.MaxCond - int(numConditions)]struct{}
+
+// ConditionNames returns the display name of every condition, indexed by
+// Condition value — the label vocabulary of trace rendering and the
+// /metrics per-condition counters.
+func ConditionNames() []string {
+	out := make([]string, numConditions)
+	for c := Condition(0); c < numConditions; c++ {
+		out[c] = c.String()
+	}
+	return out
+}
 
 func (c Condition) String() string {
 	switch c {

@@ -1,0 +1,13 @@
+// Package obs is the serving-path observability layer: lock-free
+// latency/size histograms with percentile snapshots, a per-update tracer
+// that resolves one Engine.Apply into per-layer spans, and a
+// Prometheus-text-format registry for HTTP exposition.
+//
+// The paper's headline claim is tail behaviour — InkStream's per-update
+// latency stays near-instantaneous while baselines blow up with
+// affected-area size — so the serving stack must be able to report latency
+// *distributions* live, not lifetime means. Everything in this package is
+// built to be left on in production: Histogram.Observe is a handful of
+// atomic adds (no locks, no allocation), and the tracer reuses one buffer
+// per engine so the steady-state hot path stays allocation-free.
+package obs

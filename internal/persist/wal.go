@@ -7,9 +7,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/inkstream"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -27,7 +29,16 @@ import (
 type WAL struct {
 	f *os.File
 	w *bufio.Writer
+	// lat, when set, observes per-Append latency in nanoseconds — encode,
+	// buffered write, flush and fsync together, i.e. the durability cost a
+	// served update pays before it reaches the engine.
+	lat *obs.Histogram
 }
+
+// SetLatencyHistogram installs a histogram observing Append latency (nil
+// disables). The HTTP server injects its registered WAL histogram here so
+// /metrics exposes journal fsync behaviour.
+func (w *WAL) SetLatencyHistogram(h *obs.Histogram) { w.lat = h }
 
 // OpenWAL opens (or creates) a log for appending.
 func OpenWAL(path string) (*WAL, error) {
@@ -42,6 +53,11 @@ func OpenWAL(path string) (*WAL, error) {
 // the implicit flush+sync; Append performs both before returning, so a
 // successful Append means the batch survives a crash.
 func (w *WAL) Append(delta graph.Delta, vups []inkstream.VertexUpdate) error {
+	var t0 time.Time
+	if w.lat != nil {
+		t0 = time.Now()
+		defer func() { w.lat.ObserveDuration(time.Since(t0)) }()
+	}
 	payload := encodeBatch(delta, vups)
 	hdr := make([]byte, 5)
 	hdr[0] = 'R'

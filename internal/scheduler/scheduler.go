@@ -48,7 +48,14 @@ type Stats struct {
 	// Conflicts counts events dropped because they cancelled or duplicated
 	// a pending event on the same edge.
 	Conflicts int
+	// MaxPending is the high-water mark of the pending queue — the worst
+	// staleness exposure the flush policy allowed so far.
+	MaxPending int
 }
+
+// ExplicitFlushes returns the flushes triggered by direct Flush calls
+// rather than the size or staleness policy.
+func (s Stats) ExplicitFlushes() int { return s.Flushes - s.SizeFlushes - s.TimeFlushes }
 
 // Scheduler coalesces and batches edge changes. Not safe for concurrent
 // use; callers serialise access (the HTTP server already holds a lock).
@@ -114,6 +121,9 @@ func (s *Scheduler) Submit(ch graph.EdgeChange) (bool, error) {
 	}
 	s.pendingIdx[k] = len(s.pending)
 	s.pending = append(s.pending, ch)
+	if len(s.pending) > s.stats.MaxPending {
+		s.stats.MaxPending = len(s.pending)
+	}
 	return s.maybeFlush()
 }
 

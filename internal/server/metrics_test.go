@@ -1,0 +1,275 @@
+package server
+
+import (
+	"bytes"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/scheduler"
+)
+
+// newObsServer builds a server and returns it alongside its test listener,
+// for tests that need to configure batching, journaling or slow-update
+// logging before (re)mounting the handler.
+func newObsServer(t *testing.T) (*Server, *inkstream.Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	g := dataset.GenerateRMAT(rng, 150, 600, dataset.DefaultRMAT)
+	feats := dataset.NewFeatures(rng, 150, 8)
+	model := gnn.NewGCN(rng, 8, 16, gnn.NewAggregator(gnn.AggMax))
+	var c metrics.Counters
+	eng, err := inkstream.New(model, g, feats.X, &c, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng, &c), eng
+}
+
+// absentEdges finds n distinct edges not present in g.
+func absentEdges(t *testing.T, g *graph.Graph, n int) []EdgeChangeJSON {
+	t.Helper()
+	var out []EdgeChangeJSON
+	for u := 0; u < g.NumNodes() && len(out) < n; u++ {
+		for v := u + 1; v < g.NumNodes() && len(out) < n; v++ {
+			if !g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				out = append(out, EdgeChangeJSON{U: int32(u), V: int32(v), Insert: true})
+			}
+		}
+	}
+	if len(out) < n {
+		t.Fatal("graph is complete")
+	}
+	return out
+}
+
+func absentEdge(t *testing.T, g *graph.Graph) (int32, int32) {
+	t.Helper()
+	e := absentEdges(t, g, 1)[0]
+	return e.U, e.V
+}
+
+func scrape(t *testing.T, url string) obs.Samples {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return samples
+}
+
+// TestMetricsExposition is the acceptance check: after one update, GET
+// /metrics serves parseable Prometheus text including the update-latency
+// histogram and per-condition visit counters consistent with engine state.
+func TestMetricsExposition(t *testing.T) {
+	srv, eng := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	u, v := absentEdge(t, eng.Graph())
+	resp := postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Changes: []EdgeChangeJSON{{U: u, V: v, Insert: true}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+
+	samples := scrape(t, ts.URL)
+
+	if got, ok := samples.Get("inkstream_updates_total"); !ok || got != 1 {
+		t.Errorf("inkstream_updates_total = %v, %v; want 1", got, ok)
+	}
+	// Latency histogram: buckets cumulative and monotone, +Inf == _count ==
+	// updates, _sum present and positive.
+	les, cum := samples.Buckets("inkstream_update_latency_seconds")
+	if len(les) == 0 {
+		t.Fatal("no inkstream_update_latency_seconds buckets")
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not monotone at %d: %v", i, cum)
+		}
+	}
+	if !math.IsInf(les[len(les)-1], 1) {
+		t.Fatalf("last bucket le=%v, want +Inf", les[len(les)-1])
+	}
+	count, ok := samples.Get("inkstream_update_latency_seconds_count")
+	if !ok || count != 1 || cum[len(cum)-1] != count {
+		t.Errorf("latency _count=%v (+Inf bucket %v), want 1", count, cum[len(cum)-1])
+	}
+	if sum, ok := samples.Get("inkstream_update_latency_seconds_sum"); !ok || sum <= 0 {
+		t.Errorf("latency _sum = %v, %v", sum, ok)
+	}
+	// Per-condition counters must reconcile with the engine's stats.
+	st := eng.Stats()
+	var visits float64
+	for _, s := range samples.Family("inkstream_node_visits_total") {
+		if s.Labels["condition"] == "" {
+			t.Errorf("node visit sample missing condition label: %+v", s)
+		}
+		visits += s.Value
+	}
+	if want := float64(st.Total()); visits != want {
+		t.Errorf("node visits sum = %v, engine total %v", visits, want)
+	}
+	if got, _ := samples.Get("inkstream_node_visits_total", "condition", inkstream.CondNoReset.String()); got != float64(st.Counts[inkstream.CondNoReset]) {
+		t.Errorf("no-reset visits = %v, engine %d", got, st.Counts[inkstream.CondNoReset])
+	}
+	// Graph gauges and work counters.
+	if got, _ := samples.Get("inkstream_graph_edges"); got != float64(eng.Graph().NumEdges()) {
+		t.Errorf("graph edges gauge = %v, want %d", got, eng.Graph().NumEdges())
+	}
+	if got, ok := samples.Get("inkstream_bytes_fetched_total"); !ok || got <= 0 {
+		t.Errorf("bytes fetched = %v, %v", got, ok)
+	}
+	// Batch-size histogram saw the one-change batch.
+	if got, _ := samples.Get("inkstream_update_batch_size_count"); got != 1 {
+		t.Errorf("batch size _count = %v, want 1", got)
+	}
+}
+
+// TestMetricsSchedulerAndWAL covers the queue-depth gauges, flush-reason
+// counters and WAL append-latency histogram.
+func TestMetricsSchedulerAndWAL(t *testing.T) {
+	srv, eng := newObsServer(t)
+	if err := srv.EnableBatching(scheduler.Policy{MaxBatch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := persist.OpenWAL(filepath.Join(t.TempDir(), "wal.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	srv.SetJournal(wal)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	edges := absentEdges(t, eng.Graph(), 3)
+	for _, e := range edges[:2] {
+		resp := postJSON(t, ts.URL+"/v1/submit", e)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit status %d", resp.StatusCode)
+		}
+	}
+	samples := scrape(t, ts.URL)
+	if got, _ := samples.Get("inkstream_scheduler_pending"); got != 2 {
+		t.Errorf("scheduler pending = %v, want 2", got)
+	}
+	if got, _ := samples.Get("inkstream_scheduler_submitted_total"); got != 2 {
+		t.Errorf("scheduler submitted = %v, want 2", got)
+	}
+	// No flush yet → WAL untouched.
+	if got, _ := samples.Get("inkstream_wal_append_latency_seconds_count"); got != 0 {
+		t.Errorf("wal appends before flush = %v", got)
+	}
+
+	// Third submit hits MaxBatch: size-flush through journal + engine.
+	resp := postJSON(t, ts.URL+"/v1/submit", edges[2])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	samples = scrape(t, ts.URL)
+	if got, _ := samples.Get("inkstream_scheduler_pending"); got != 0 {
+		t.Errorf("pending after flush = %v", got)
+	}
+	if got, _ := samples.Get("inkstream_scheduler_pending_max"); got != 3 {
+		t.Errorf("pending max = %v, want 3", got)
+	}
+	if got, _ := samples.Get("inkstream_scheduler_flushes_total", "reason", "size"); got != 1 {
+		t.Errorf("size flushes = %v, want 1", got)
+	}
+	if got, _ := samples.Get("inkstream_scheduler_flushes_total", "reason", "staleness"); got != 0 {
+		t.Errorf("staleness flushes = %v, want 0", got)
+	}
+	if got, _ := samples.Get("inkstream_wal_append_latency_seconds_count"); got != 1 {
+		t.Errorf("wal appends after flush = %v, want 1", got)
+	}
+	if got, _ := samples.Get("inkstream_wal_append_latency_seconds_sum"); got <= 0 {
+		t.Errorf("wal append latency sum = %v", got)
+	}
+}
+
+// TestStatsPendingAndLatency checks the /v1/stats additions: scheduler
+// queue depth and latency quantiles.
+func TestStatsPendingAndLatency(t *testing.T) {
+	srv, eng := newObsServer(t)
+	if err := srv.EnableBatching(scheduler.Policy{MaxBatch: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	edges := absentEdges(t, eng.Graph(), 2)
+	// One direct update (records latency) and one buffered submit.
+	postJSON(t, ts.URL+"/v1/update", UpdateRequest{Changes: edges[:1]})
+	postJSON(t, ts.URL+"/v1/submit", edges[1])
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	stats := decode[StatsResponse](t, resp)
+	if stats.Pending != 1 {
+		t.Errorf("stats pending = %d, want 1", stats.Pending)
+	}
+	if stats.MaxPending != 1 {
+		t.Errorf("stats max pending = %d, want 1", stats.MaxPending)
+	}
+	if stats.UpdateLatency.P50 <= 0 || stats.UpdateLatency.Max <= 0 {
+		t.Errorf("latency quantiles missing: %+v", stats.UpdateLatency)
+	}
+	if stats.UpdateLatency.P50 > stats.UpdateLatency.P99 {
+		t.Errorf("p50 %v > p99 %v", stats.UpdateLatency.P50, stats.UpdateLatency.P99)
+	}
+	if len(stats.Conditions) == 0 {
+		t.Error("stats conditions empty after an update")
+	}
+}
+
+// TestSlowUpdateLog: a nanosecond threshold marks every update slow and
+// logs its trace.
+func TestSlowUpdateLog(t *testing.T) {
+	srv, eng := newObsServer(t)
+	var buf bytes.Buffer
+	srv.EnableSlowUpdateLog(time.Nanosecond, false, log.New(&buf, "", 0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	u, v := absentEdge(t, eng.Graph())
+	postJSON(t, ts.URL+"/v1/update", UpdateRequest{
+		Changes: []EdgeChangeJSON{{U: u, V: v, Insert: true}},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "slow update") || !strings.Contains(out, "dG=1") {
+		t.Errorf("slow-update log missing trace: %q", out)
+	}
+	samples := scrape(t, ts.URL)
+	if got, _ := samples.Get("inkstream_slow_updates_total"); got != 1 {
+		t.Errorf("slow updates counter = %v, want 1", got)
+	}
+}

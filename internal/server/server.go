@@ -10,14 +10,21 @@
 //	GET  /v1/embedding?node=N
 //	GET  /v1/stats
 //	GET  /v1/healthz
+//	GET  /metrics       (Prometheus text exposition)
 //
 // All mutations serialise on one engine lock; reads take the same lock
 // briefly to copy a row. The handlers never expose partial states.
+//
+// Observability: every server owns an obs.Observer shared with its engine
+// (per-update latency/size histograms, slow-update traces) and an
+// obs.Registry exposing them — plus the work counters, per-condition visit
+// totals, scheduler queue state and WAL append latency — at GET /metrics.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -26,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/inkstream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/tensor"
 )
@@ -38,6 +46,10 @@ type Server struct {
 	updates  int64
 	batcher  *scheduler.Scheduler
 	journal  Journal
+
+	obs    *obs.Observer
+	reg    *obs.Registry
+	walLat *obs.Histogram
 }
 
 // Journal records every applied batch before it reaches the engine
@@ -49,13 +61,160 @@ type Journal interface {
 }
 
 // New wraps an engine; counters may be the same instance the engine
-// records into (or nil).
+// records into (or nil). The server reuses the engine's observer when one
+// was installed at construction (so CLI-configured tracing keeps working)
+// and otherwise installs a fresh one, then builds the /metrics registry
+// over it.
 func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
-	return &Server{engine: engine, counters: counters}
+	s := &Server{engine: engine, counters: counters}
+	s.obs = engine.Observer()
+	if s.obs == nil {
+		s.obs = obs.NewObserver()
+		engine.SetObserver(s.obs)
+	}
+	s.walLat = obs.NewLatencyHistogram()
+	s.reg = obs.NewRegistry()
+	s.buildRegistry()
+	return s
 }
 
-// SetJournal installs a write-ahead journal; call before serving.
-func (s *Server) SetJournal(j Journal) { s.journal = j }
+// Observer exposes the server's observer for CLI wiring (slow-update
+// thresholds, trace emission).
+func (s *Server) Observer() *obs.Observer { return s.obs }
+
+// Registry exposes the metric registry, e.g. to register process-level
+// extras before serving.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// EnableSlowUpdateLog logs a full per-layer trace for every update slower
+// than threshold (and for every update when traceAll is set). logger nil
+// means the standard logger. Call before serving.
+func (s *Server) EnableSlowUpdateLog(threshold time.Duration, traceAll bool, logger *log.Logger) {
+	if logger == nil {
+		logger = log.Default()
+	}
+	s.obs.SlowThreshold = threshold
+	s.obs.TraceAll = traceAll
+	s.obs.OnTrace = func(t *obs.Trace) {
+		if threshold > 0 && t.Total >= threshold {
+			logger.Printf("slow update (>= %v): %s", threshold, t)
+			return
+		}
+		logger.Printf("%s", t)
+	}
+}
+
+// buildRegistry registers every exposed family. Gauges over mutex-guarded
+// state lock s.mu inside their sample closure; WriteText never runs with
+// the lock held, so this cannot deadlock.
+func (s *Server) buildRegistry() {
+	r := s.reg
+	r.CounterFunc("inkstream_updates_total",
+		"Update batches applied by the engine (edge and vertex-feature).",
+		func() float64 { return float64(s.obs.Updates()) })
+	r.CounterFunc("inkstream_slow_updates_total",
+		"Updates slower than the configured slow-update threshold.",
+		func() float64 { return float64(s.obs.SlowUpdates()) })
+	r.Histogram("inkstream_update_latency_seconds",
+		"End-to-end latency of one applied update batch.",
+		1e-9, s.obs.UpdateLatency)
+	r.Histogram("inkstream_update_batch_size",
+		"Edge changes plus vertex updates per applied batch.",
+		1, s.obs.BatchSize)
+	r.Histogram("inkstream_update_events",
+		"Propagation events processed per applied batch.",
+		1, s.obs.Events)
+	r.LabeledCounterFunc("inkstream_node_visits_total",
+		"Per-layer node visits by InkStream condition (paper Fig. 8 taxonomy).",
+		func() []obs.LabeledValue {
+			s.mu.Lock()
+			st := *s.engine.Stats()
+			s.mu.Unlock()
+			counts := make(map[string]int64, len(st.Counts))
+			for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
+				counts[c.String()] = st.Counts[c]
+			}
+			return obs.SortedLabeled("condition", counts)
+		})
+	r.GaugeFunc("inkstream_graph_nodes",
+		"Nodes in the maintained graph.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.engine.Graph().NumNodes())
+		})
+	r.GaugeFunc("inkstream_graph_edges",
+		"Edges in the maintained graph.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.engine.Graph().NumEdges())
+		})
+	r.CounterFunc("inkstream_http_updates_served_total",
+		"Successful mutation requests (/v1/update, /v1/features, flushed /v1/submit).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.updates)
+		})
+	if s.counters != nil {
+		r.CounterFunc("inkstream_bytes_fetched_total",
+			"Embedding/feature bytes read by inference (Table V memory cost).",
+			func() float64 { return float64(s.counters.BytesFetched.Load()) })
+		r.CounterFunc("inkstream_bytes_written_total",
+			"Embedding bytes stored back by inference.",
+			func() float64 { return float64(s.counters.BytesWritten.Load()) })
+		r.CounterFunc("inkstream_flops_total",
+			"Floating-point operations spent in inference.",
+			func() float64 { return float64(s.counters.FLOPs.Load()) })
+		r.CounterFunc("inkstream_events_processed_total",
+			"InkStream propagation events consumed.",
+			func() float64 { return float64(s.counters.EventsProcessed.Load()) })
+	}
+	schedStats := func() (scheduler.Stats, int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.batcher == nil {
+			return scheduler.Stats{}, 0
+		}
+		return s.batcher.Stats(), s.batcher.Pending()
+	}
+	r.GaugeFunc("inkstream_scheduler_pending",
+		"Edge events buffered by the batching scheduler.",
+		func() float64 { _, p := schedStats(); return float64(p) })
+	r.GaugeFunc("inkstream_scheduler_pending_max",
+		"High-water mark of the scheduler pending queue.",
+		func() float64 { st, _ := schedStats(); return float64(st.MaxPending) })
+	r.CounterFunc("inkstream_scheduler_submitted_total",
+		"Edge events submitted to the batching scheduler.",
+		func() float64 { st, _ := schedStats(); return float64(st.Submitted) })
+	r.CounterFunc("inkstream_scheduler_conflicts_total",
+		"Submitted events coalesced against a pending event on the same edge.",
+		func() float64 { st, _ := schedStats(); return float64(st.Conflicts) })
+	r.LabeledCounterFunc("inkstream_scheduler_flushes_total",
+		"Scheduler flushes by trigger reason.",
+		func() []obs.LabeledValue {
+			st, _ := schedStats()
+			return obs.SortedLabeled("reason", map[string]int64{
+				"size":      int64(st.SizeFlushes),
+				"staleness": int64(st.TimeFlushes),
+				"explicit":  int64(st.ExplicitFlushes()),
+			})
+		})
+	r.Histogram("inkstream_wal_append_latency_seconds",
+		"Durability cost per journaled batch: encode, write, flush and fsync.",
+		1e-9, s.walLat)
+}
+
+// SetJournal installs a write-ahead journal; call before serving. Journals
+// that can observe their append latency (persist.WAL) are handed the
+// registered WAL histogram.
+func (s *Server) SetJournal(j Journal) {
+	s.journal = j
+	if h, ok := j.(interface{ SetLatencyHistogram(*obs.Histogram) }); ok {
+		h.SetLatencyHistogram(s.walLat)
+	}
+}
 
 // applyDelta journals (when configured) and applies one edge batch; the
 // caller holds the lock.
@@ -109,6 +268,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
 }
 
@@ -278,14 +438,29 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, EmbeddingResponse{Node: int32(node), Embedding: row})
 }
 
+// LatencyQuantiles summarises the update-latency histogram, in
+// milliseconds.
+type LatencyQuantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Nodes         int              `json:"nodes"`
-	Edges         int              `json:"edges"`
-	UpdatesServed int64            `json:"updates_served"`
+	Nodes         int   `json:"nodes"`
+	Edges         int   `json:"edges"`
+	UpdatesServed int64 `json:"updates_served"`
+	SlowUpdates   int64 `json:"slow_updates"`
+	// Pending is the batching scheduler's queue depth (0 when batching is
+	// disabled); MaxPending its high-water mark.
+	Pending       int              `json:"pending"`
+	MaxPending    int              `json:"max_pending"`
 	Conditions    map[string]int64 `json:"conditions"`
 	BytesFetched  int64            `json:"bytes_fetched"`
 	Events        int64            `json:"events_processed"`
+	UpdateLatency LatencyQuantiles `json:"update_latency"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -302,12 +477,25 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			resp.Conditions[c.String()] = n
 		}
 	}
+	if s.batcher != nil {
+		resp.Pending = s.batcher.Pending()
+		resp.MaxPending = s.batcher.Stats().MaxPending
+	}
 	if s.counters != nil {
 		snap := s.counters.Snapshot()
 		resp.BytesFetched = snap.BytesFetched
 		resp.Events = snap.EventsProcessed
 	}
 	s.mu.Unlock()
+	resp.SlowUpdates = s.obs.SlowUpdates()
+	lat := s.obs.UpdateLatency.Snapshot()
+	const ms = 1e-6 // nanoseconds → milliseconds
+	resp.UpdateLatency = LatencyQuantiles{
+		P50: float64(lat.P50()) * ms,
+		P95: float64(lat.P95()) * ms,
+		P99: float64(lat.P99()) * ms,
+		Max: float64(lat.Max) * ms,
+	}
 	writeJSON(w, resp)
 }
 

@@ -14,6 +14,10 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/tensor ./internal/gnn ./internal/inkstream
+go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
+    ./internal/obs ./internal/server
+
+# Observability must stay essentially free on the engine hot path.
+scripts/obs_overhead.sh
 
 echo "check.sh: all gates passed"

