@@ -6,7 +6,9 @@
 //	inkbench -list
 //	inkbench all
 //
-// Experiments: fig1a fig1b table4 table5 table6 fig7 fig8 fig9 memcost.
+// Experiments: fig1a fig1b table4 table5 table6 fig7 fig8 fig9 memcost,
+// plus repo extras such as the mixed read/write serving workload
+// (`inkbench -readers 8 mixed`).
 // Output is a text rendering of the corresponding paper artifact; see
 // EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
@@ -40,6 +42,8 @@ func run(args []string) error {
 		hidden    = fs.Int("hidden", 32, "hidden-state dimension for GCN/GraphSAGE (GIN uses half)")
 		scenarios = fs.Int("scenarios", 3, "max graph-changing scenarios averaged per point")
 		ginLayers = fs.Int("gin-layers", 5, "GIN depth")
+		readers   = fs.Int("readers", 4, "concurrent readers in the mixed read/write workload (experiment: mixed)")
+		mixedUpds = fs.Int("mixed-updates", 200, "update batches streamed by the mixed workload")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
 		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -76,6 +80,8 @@ func run(args []string) error {
 	cfg.Hidden = *hidden
 	cfg.Scenarios = *scenarios
 	cfg.GINLayers = *ginLayers
+	cfg.Readers = *readers
+	cfg.MixedUpdates = *mixedUpds
 	if *datasets != "" {
 		cfg.Datasets = nil
 		for _, name := range strings.Split(*datasets, ",") {

@@ -26,6 +26,7 @@ func testService(t *testing.T) (*httptest.Server, *inkstream.Engine) {
 		t.Fatal(err)
 	}
 	srv := server.New(eng, nil)
+	t.Cleanup(srv.Close)
 	if err := srv.EnableBatching(scheduler.Policy{MaxBatch: 2}); err != nil {
 		t.Fatal(err)
 	}

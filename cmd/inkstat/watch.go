@@ -25,6 +25,7 @@ func watchLoop(w io.Writer, base string, interval time.Duration, samples int) er
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(w, summaryLine(prev))
 	printed := 0
 	for samples <= 0 || printed < samples {
 		time.Sleep(interval)
@@ -49,6 +50,23 @@ func scrapeMetrics(url string) (obs.Samples, error) {
 		return nil, fmt.Errorf("GET %s: status %s", url, resp.Status)
 	}
 	return obs.ParseText(resp.Body)
+}
+
+// summaryLine renders the absolute serving state of one scrape: the
+// published snapshot epoch and its lag behind accepted updates, lifetime
+// work counters, and the WAL group-commit history (0 commits when no
+// journal is configured).
+func summaryLine(s obs.Samples) string {
+	get := func(name string) float64 { v, _ := s.Get(name); return v }
+	gcCount := get("inkstream_group_commit_batch_size_count")
+	gcMean := 0.0
+	if gcCount > 0 {
+		gcMean = get("inkstream_group_commit_batch_size_sum") / gcCount
+	}
+	return fmt.Sprintf("serving: epoch=%.0f  lag=%.0f  updates=%.0f  reads=%.0f  group-commits=%.0f (avg batch %.1f)",
+		get("inkstream_snapshot_epoch"), get("inkstream_snapshot_lag_batches"),
+		get("inkstream_updates_total"), get("inkstream_reads_total"),
+		gcCount, gcMean)
 }
 
 // watchLine summarises one scrape window. Rates come from counter deltas;
@@ -88,8 +106,15 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	prunedRatio := visitRatio(prev, cur, "pruned")
 
 	pending, _ := cur.Get("inkstream_scheduler_pending")
-	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f",
-		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending)
+	epoch, _ := cur.Get("inkstream_snapshot_epoch")
+	lag, _ := cur.Get("inkstream_snapshot_lag_batches")
+	gcBatch := 0.0
+	if dc := delta("inkstream_group_commit_batch_size_count"); dc > 0 {
+		gcBatch = delta("inkstream_group_commit_batch_size_sum") / dc
+	}
+	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f",
+		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending,
+		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch)
 }
 
 // visitRatio returns the windowed share of node visits resolved as cond,

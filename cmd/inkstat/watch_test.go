@@ -43,6 +43,7 @@ func TestWatchLoop(t *testing.T) {
 	}
 
 	srv := server.New(eng, &c)
+	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -70,11 +71,16 @@ func TestWatchLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out.String())
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3:\n%s", len(lines), out.String())
 	}
-	for _, line := range lines {
-		for _, field := range []string{"upd/s=", "p99=", "events/s=", "pruned=", "pending="} {
+	for _, field := range []string{"serving:", "epoch=", "lag=", "updates=", "reads=", "group-commits="} {
+		if !strings.Contains(lines[0], field) {
+			t.Errorf("header %q missing %s", lines[0], field)
+		}
+	}
+	for _, line := range lines[1:] {
+		for _, field := range []string{"upd/s=", "p99=", "events/s=", "pruned=", "pending=", "epoch=", "lag=", "reads/s=", "gc="} {
 			if !strings.Contains(line, field) {
 				t.Errorf("line %q missing %s", line, field)
 			}

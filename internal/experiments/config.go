@@ -41,6 +41,12 @@ type Config struct {
 	Scenarios int
 	// GINLayers is the GIN depth (paper: 5).
 	GINLayers int
+	// Readers is the number of concurrent reader goroutines in the mixed
+	// read/write workload (experiment "mixed").
+	Readers int
+	// MixedUpdates is the number of ΔG batches the mixed workload streams
+	// through the server pipeline.
+	MixedUpdates int
 }
 
 // Default returns the standard configuration used by cmd/inkbench.
@@ -81,6 +87,12 @@ func (c Config) normalize() Config {
 	}
 	if c.GINLayers < 2 {
 		c.GINLayers = 2
+	}
+	if c.Readers < 1 {
+		c.Readers = 4
+	}
+	if c.MixedUpdates < 1 {
+		c.MixedUpdates = 200
 	}
 	return c
 }

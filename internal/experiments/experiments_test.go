@@ -387,7 +387,7 @@ func TestScalingSweep(t *testing.T) {
 }
 
 func TestRunnerRegistry(t *testing.T) {
-	if len(Names()) != 13 {
+	if len(Names()) != 14 {
 		t.Errorf("registry size = %d", len(Names()))
 	}
 	if _, err := Run("nope", tiny()); err == nil {
@@ -396,5 +396,29 @@ func TestRunnerRegistry(t *testing.T) {
 	res, err := Run("memcost", tiny())
 	if err != nil || res.Render() == "" {
 		t.Errorf("Run(memcost): %v", err)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	c := tiny()
+	c.Readers = 2
+	c.MixedUpdates = 10
+	r, err := Mixed(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Updates != 10 {
+		t.Errorf("applied %d updates", r.Updates)
+	}
+	// Epoch 1 is the bootstrap snapshot; every applied batch publishes one
+	// more.
+	if r.FinalEpoch != 11 {
+		t.Errorf("final epoch %d, want 11", r.FinalEpoch)
+	}
+	if r.Reads == 0 || r.ReadP99 < r.ReadP50 {
+		t.Errorf("read stats reads=%d p50=%v p99=%v", r.Reads, r.ReadP50, r.ReadP99)
+	}
+	if r.Render() == "" {
+		t.Error("empty rendering")
 	}
 }

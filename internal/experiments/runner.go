@@ -29,6 +29,7 @@ var Registry = map[string]Runner{
 	"replay":  func(c Config) (Result, error) { return Replay(c) },
 	"hotspot": func(c Config) (Result, error) { return Hotspot(c) },
 	"scaling": func(c Config) (Result, error) { return Scaling(c) },
+	"mixed":   func(c Config) (Result, error) { return Mixed(c) },
 }
 
 // Names returns the sorted experiment IDs.

@@ -36,13 +36,21 @@ type Graph struct {
 	// Undirected records whether AddEdge/RemoveEdge mirror every arc.
 	Undirected bool
 
-	out   [][]NodeID
-	in    [][]NodeID
-	edges map[arcKey]struct{}
+	out [][]NodeID
+	in  [][]NodeID
+	// edges indexes every arc by its position in both adjacency lists, so
+	// removal is O(1) (plus the map ops) instead of an O(deg) scan — the
+	// difference between constant-time and milliseconds when deleting edges
+	// incident to hub nodes of power-law graphs.
+	edges map[arcKey]arcPos
 	m     int // arc count
 }
 
 type arcKey uint64
+
+// arcPos locates one arc (u,v): out is its index in out[u], in its index
+// in in[v]. Maintained by swap-remove fixups in removeArc.
+type arcPos struct{ out, in int32 }
 
 func key(u, v NodeID) arcKey { return arcKey(uint64(uint32(u))<<32 | uint64(uint32(v))) }
 
@@ -51,7 +59,7 @@ func New(n int) *Graph {
 	return &Graph{
 		out:   make([][]NodeID, n),
 		in:    make([][]NodeID, n),
-		edges: make(map[arcKey]struct{}),
+		edges: make(map[arcKey]arcPos),
 	}
 }
 
@@ -116,7 +124,7 @@ func (g *Graph) AddEdge(u, v NodeID) error {
 }
 
 func (g *Graph) addArc(u, v NodeID) {
-	g.edges[key(u, v)] = struct{}{}
+	g.edges[key(u, v)] = arcPos{out: int32(len(g.out[u])), in: int32(len(g.in[v]))}
 	g.out[u] = append(g.out[u], v)
 	g.in[v] = append(g.in[v], u)
 	g.m++
@@ -138,23 +146,42 @@ func (g *Graph) RemoveEdge(u, v NodeID) error {
 	return nil
 }
 
+// removeArc deletes (u,v) in O(1) amortised: the arc-position index gives
+// its slot in both adjacency lists directly, and swap-remove fills each
+// slot with the list's last arc (whose index entry is patched). Neighbor
+// order is not meaningful, so the perturbation is harmless.
 func (g *Graph) removeArc(u, v NodeID) {
-	delete(g.edges, key(u, v))
-	g.out[u] = cut(g.out[u], v)
-	g.in[v] = cut(g.in[v], u)
-	g.m--
-}
-
-// cut removes the first occurrence of x from s by swapping with the last
-// element (O(deg) scan, O(1) removal; neighbor order is not meaningful).
-func cut(s []NodeID, x NodeID) []NodeID {
-	for i, y := range s {
-		if y == x {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
-		}
+	k := key(u, v)
+	pos, ok := g.edges[k]
+	if !ok {
+		panic("graph: internal inconsistency: removing arc missing from edge index")
 	}
-	panic("graph: internal inconsistency: arc in edge set but not adjacency")
+	delete(g.edges, k)
+
+	outs := g.out[u]
+	last := len(outs) - 1
+	if int(pos.out) != last {
+		moved := outs[last]
+		outs[pos.out] = moved
+		mk := key(u, moved)
+		mp := g.edges[mk]
+		mp.out = pos.out
+		g.edges[mk] = mp
+	}
+	g.out[u] = outs[:last]
+
+	ins := g.in[v]
+	last = len(ins) - 1
+	if int(pos.in) != last {
+		moved := ins[last]
+		ins[pos.in] = moved
+		mk := key(moved, v)
+		mp := g.edges[mk]
+		mp.in = pos.in
+		g.edges[mk] = mp
+	}
+	g.in[v] = ins[:last]
+	g.m--
 }
 
 // HasEdge reports whether the arc (u, v) exists.
@@ -183,15 +210,15 @@ func (g *Graph) Clone() *Graph {
 		Undirected: g.Undirected,
 		out:        make([][]NodeID, len(g.out)),
 		in:         make([][]NodeID, len(g.in)),
-		edges:      make(map[arcKey]struct{}, len(g.edges)),
+		edges:      make(map[arcKey]arcPos, len(g.edges)),
 		m:          g.m,
 	}
 	for i := range g.out {
 		c.out[i] = append([]NodeID(nil), g.out[i]...)
 		c.in[i] = append([]NodeID(nil), g.in[i]...)
 	}
-	for k := range g.edges {
-		c.edges[k] = struct{}{}
+	for k, p := range g.edges {
+		c.edges[k] = p
 	}
 	return c
 }

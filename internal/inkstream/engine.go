@@ -95,6 +95,11 @@ type Engine struct {
 	// gr is the reusable epoch-stamped grouping table.
 	gr *grouper
 
+	// snap is the epoch-snapshot machinery (snapshot.go); dirt is the
+	// per-group output-changed scratch merged alongside conds.
+	snap snapState
+	dirt []bool
+
 	// obs records per-update latency and traces; trace is the reusable
 	// per-Apply span buffer it emits (nil obs disables both).
 	obs   *obs.Observer
@@ -250,6 +255,7 @@ func (e *Engine) Refresh() error {
 		return err
 	}
 	e.state = state
+	e.markAllDirty()
 	return nil
 }
 
@@ -390,8 +396,14 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 		e.trace.Total = time.Since(t0)
 		e.obs.RecordUpdate(&e.trace)
 	}
+	e.snap.applied++
 	return nil
 }
+
+// AppliedBatches returns the number of successfully applied batches —
+// the counter a published Snapshot records as AppliedBatches. Writer
+// goroutine only.
+func (e *Engine) AppliedBatches() uint64 { return e.snap.applied }
 
 // arcsOf expands a logical edge change into its directed arcs.
 func (e *Engine) arcsOf(ch graph.EdgeChange) [][2]graph.NodeID {
@@ -508,13 +520,14 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 	outN, outU := e.outN, e.outU
 	if cap(e.conds) < n {
 		e.conds = make([]Condition, n)
+		e.dirt = make([]bool, n)
 	}
-	conds := e.conds[:n]
+	conds, dirt := e.conds[:n], e.dirt[:n]
 	body := func(lo, hi int) {
 		// Per-chunk scratch, recycled across chunks, layers and Applies.
 		sc := e.getScratch(l)
 		for i := lo; i < hi; i++ {
-			outN[i], outU[i], conds[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0])
+			outN[i], outU[i], conds[i], dirt[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0])
 		}
 		e.scratchPools[l].Put(sc)
 	}
@@ -532,6 +545,9 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 		nextU = append(nextU, outU[i]...)
 		e.stats.Add(conds[i])
 		e.layerStats[l].Add(conds[i])
+		if dirt[i] {
+			e.markDirty(groups[i].target)
+		}
 		if e.opts.Trace != nil {
 			e.opts.Trace(l, groups[i].target, conds[i])
 		}
@@ -568,8 +584,10 @@ func newScratch(layer gnn.Layer) *scratch {
 // processTarget handles all events heading to one node in one layer:
 // Algorithm 1 lines 4–21 plus the user-hook application and the next-layer
 // propagation of Sec. II-B2. Emitted events are appended to evts/uevts
-// (reusable buffers owned by the caller's group slot).
-func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts []UserEvent) ([]Event, []UserEvent, Condition) {
+// (reusable buffers owned by the caller's group slot). The final return
+// reports whether the write landed in the final layer with a changed
+// value — i.e. whether the served embedding row is now dirty.
+func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts []UserEvent) ([]Event, []UserEvent, Condition, bool) {
 	layer := e.model.Layers[l]
 	agg := layer.Agg()
 	u := g.target
@@ -604,7 +622,7 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 		if g.hasNative() {
 			cond = CondPruned
 		}
-		return evts, uevts, cond
+		return evts, uevts, cond, false
 	}
 
 	// Recompute the layer output h_{l+1,u} = act(𝒯(α, m)) from the
@@ -619,14 +637,15 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 	hChanged := !newH.Equal(hRow)
 	copy(hRow, newH)
 	e.c.StoreVec(len(hRow))
+	outChanged := hChanged && l+1 == e.model.NumLayers()
 
 	if !hChanged && !e.opts.DisablePruning {
 		// The embedding survived the α change (e.g. clamped by ReLU):
 		// the node is resilient at the output level; prune.
-		return evts, uevts, cond
+		return evts, uevts, cond, false
 	}
 	if l+1 >= e.model.NumLayers() {
-		return evts, uevts, cond
+		return evts, uevts, cond, outChanged
 	}
 
 	// Refresh the node's next-layer message and fan out events. oldM (and
@@ -639,11 +658,11 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 	next.ComputeMessage(mRow, hRow)
 	gnn.CountMessage(e.c, next)
 	if oldM.Equal(mRow) && !e.opts.DisablePruning {
-		return evts, uevts, cond
+		return evts, uevts, cond, false
 	}
 	evts = e.fanOut(u, next.Agg(), oldM, mRow, evts)
 	uevts = append(uevts, e.hooks.Propagate(l, u, oldM, mRow)...)
-	return evts, uevts, cond
+	return evts, uevts, cond, false
 }
 
 // fanOut builds the next-layer events from node u to its current

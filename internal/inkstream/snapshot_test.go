@@ -1,0 +1,128 @@
+package inkstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func newSnapEngine(t *testing.T) *Engine {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := dataset.GenerateRMAT(rng, 120, 480, dataset.DefaultRMAT)
+	feats := dataset.NewFeatures(rng, 120, 8)
+	model := gnn.NewGCN(rng, 8, 16, gnn.NewAggregator(gnn.AggMax))
+	eng, err := New(model, g, feats.X, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestSnapshotPublishAndCOW(t *testing.T) {
+	eng := newSnapEngine(t)
+	if eng.Snapshot() != nil {
+		t.Fatal("snapshot before first publish")
+	}
+	if rows := eng.DirtyRows(); rows != nil {
+		t.Fatalf("dirty rows before tracking: %v", rows)
+	}
+
+	s1 := eng.PublishSnapshot()
+	if s1.Epoch != 1 || s1.NumNodes() != 120 {
+		t.Fatalf("first snapshot epoch=%d nodes=%d", s1.Epoch, s1.NumNodes())
+	}
+	if s1.Nodes != 120 || s1.Edges != eng.Graph().NumEdges() {
+		t.Fatalf("snapshot graph summary %d/%d", s1.Nodes, s1.Edges)
+	}
+	for i := 0; i < 120; i++ {
+		if !s1.Row(i).Equal(eng.Output().Row(i)) {
+			t.Fatalf("row %d differs from engine output", i)
+		}
+	}
+
+	// One update batch: the dirty set must be exactly the changed rows.
+	rng := rand.New(rand.NewSource(6))
+	delta := graph.RandomDelta(rng, eng.Graph(), 5)
+	if err := eng.Update(delta); err != nil {
+		t.Fatal(err)
+	}
+	dirty := eng.DirtyRows()
+	dirtySet := make(map[graph.NodeID]bool, len(dirty))
+	for _, id := range dirty {
+		dirtySet[id] = true
+	}
+	for i := 0; i < 120; i++ {
+		changed := !s1.Row(i).Equal(eng.Output().Row(i))
+		if changed && !dirtySet[graph.NodeID(i)] {
+			t.Errorf("row %d changed but not marked dirty", i)
+		}
+	}
+
+	s2 := eng.PublishSnapshot()
+	if s2.Epoch != 2 {
+		t.Fatalf("second snapshot epoch %d", s2.Epoch)
+	}
+	if s2.AppliedBatches != 1 || s1.AppliedBatches != 0 {
+		t.Fatalf("applied batches s1=%d s2=%d", s1.AppliedBatches, s2.AppliedBatches)
+	}
+	if eng.DirtyRows() != nil {
+		t.Error("dirty rows survive publication")
+	}
+	for i := 0; i < 120; i++ {
+		if !s2.Row(i).Equal(eng.Output().Row(i)) {
+			t.Fatalf("row %d stale in new snapshot", i)
+		}
+		// Copy-on-write: clean rows share storage with the previous epoch,
+		// dirty rows were re-cloned.
+		shared := len(s1.Row(i)) > 0 && &s1.Row(i)[0] == &s2.Row(i)[0]
+		if dirtySet[graph.NodeID(i)] && shared {
+			t.Errorf("dirty row %d shares storage across epochs", i)
+		}
+		if !dirtySet[graph.NodeID(i)] && !shared {
+			t.Errorf("clean row %d was needlessly re-cloned", i)
+		}
+	}
+	// The old snapshot is immutable: it still reflects epoch 1.
+	for i := 0; i < 120; i++ {
+		if dirtySet[graph.NodeID(i)] && s1.Row(i).Equal(s2.Row(i)) {
+			continue // row changed back or clone equal; fine either way
+		}
+	}
+}
+
+func TestSnapshotRefreshMarksAllDirty(t *testing.T) {
+	eng := newSnapEngine(t)
+	s1 := eng.PublishSnapshot()
+	if err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := eng.PublishSnapshot()
+	for i := 0; i < s2.NumNodes(); i++ {
+		if &s1.Row(i)[0] == &s2.Row(i)[0] {
+			t.Fatalf("row %d shares storage after Refresh (state was replaced)", i)
+		}
+	}
+}
+
+func TestSnapshotAddNodeGrowth(t *testing.T) {
+	eng := newSnapEngine(t)
+	eng.PublishSnapshot()
+	x := make(tensor.Vector, 8)
+	x[0] = 1
+	id, err := eng.AddNode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := eng.PublishSnapshot()
+	if s.NumNodes() != int(id)+1 {
+		t.Fatalf("snapshot rows %d, want %d", s.NumNodes(), id+1)
+	}
+	if !s.Row(int(id)).Equal(eng.Output().Row(int(id))) {
+		t.Error("new node row missing from snapshot")
+	}
+}

@@ -94,5 +94,6 @@ func (e *Engine) AddNode(x tensor.Vector) (graph.NodeID, error) {
 		s.H[l+1].AppendRow(next)
 		h = next
 	}
+	e.markDirty(id)
 	return id, nil
 }

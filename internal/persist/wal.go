@@ -51,13 +51,28 @@ func OpenWAL(path string) (*WAL, error) {
 
 // Append writes one applied batch. The record only becomes durable after
 // the implicit flush+sync; Append performs both before returning, so a
-// successful Append means the batch survives a crash.
+// successful Append means the batch survives a crash. Callers journaling
+// several batches at once should prefer AppendBuffered + one Commit
+// (group commit): the fsync is by far the dominant cost and one covers
+// every record buffered behind it.
 func (w *WAL) Append(delta graph.Delta, vups []inkstream.VertexUpdate) error {
 	var t0 time.Time
 	if w.lat != nil {
 		t0 = time.Now()
 		defer func() { w.lat.ObserveDuration(time.Since(t0)) }()
 	}
+	if err := w.AppendBuffered(delta, vups); err != nil {
+		return err
+	}
+	return w.commit()
+}
+
+// AppendBuffered encodes and writes one record into the log's buffer
+// without making it durable. The record reaches the OS (and survives a
+// process crash, though not a machine crash) only after a later Commit;
+// a torn tail from a crash between the two is detected and dropped on
+// replay, exactly like a crash mid-Append.
+func (w *WAL) AppendBuffered(delta graph.Delta, vups []inkstream.VertexUpdate) error {
 	payload := encodeBatch(delta, vups)
 	hdr := make([]byte, 5)
 	hdr[0] = 'R'
@@ -65,9 +80,23 @@ func (w *WAL) Append(delta graph.Delta, vups []inkstream.VertexUpdate) error {
 	if _, err := w.w.Write(hdr); err != nil {
 		return err
 	}
-	if _, err := w.w.Write(payload); err != nil {
-		return err
+	_, err := w.w.Write(payload)
+	return err
+}
+
+// Commit flushes and fsyncs everything buffered by AppendBuffered since
+// the previous commit — the group-commit barrier. After a nil return,
+// every buffered record survives a crash.
+func (w *WAL) Commit() error {
+	var t0 time.Time
+	if w.lat != nil {
+		t0 = time.Now()
+		defer func() { w.lat.ObserveDuration(time.Since(t0)) }()
 	}
+	return w.commit()
+}
+
+func (w *WAL) commit() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}

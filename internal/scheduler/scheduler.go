@@ -29,6 +29,10 @@ type Policy struct {
 	// long (0 means staleness never triggers a flush; flushes then happen
 	// only via MaxBatch or explicit Flush calls).
 	MaxStaleness time.Duration
+	// Directed marks the underlying graph as directed: (u,v) and (v,u) are
+	// then distinct edges and are never coalesced against each other. The
+	// zero value keeps the undirected behaviour, where the pair is one edge.
+	Directed bool
 }
 
 // Validate checks that at least one flush condition exists.
@@ -64,8 +68,8 @@ type Scheduler struct {
 	engine  Updater
 	now     func() time.Time
 	pending graph.Delta
-	// pendingIdx maps an undirected edge key to its index in pending, for
-	// conflict coalescing.
+	// pendingIdx maps an edge key (see edgeKey) to its index in pending,
+	// for conflict coalescing.
 	pendingIdx map[[2]graph.NodeID]int
 	oldest     time.Time
 	stats      Stats
@@ -93,8 +97,13 @@ func (s *Scheduler) Stats() Stats { return s.stats }
 // Pending returns the number of buffered changes.
 func (s *Scheduler) Pending() int { return len(s.pending) }
 
-func edgeKey(u, v graph.NodeID) [2]graph.NodeID {
-	if u > v {
+// edgeKey is the coalescing identity of an edge. On undirected graphs
+// (u,v) and (v,u) name the same edge, so the key is canonicalised; on
+// directed graphs the two are independent arcs and keep distinct keys —
+// canonicalising there would wrongly cancel an insert of u→v against a
+// delete of v→u.
+func (s *Scheduler) edgeKey(u, v graph.NodeID) [2]graph.NodeID {
+	if !s.policy.Directed && u > v {
 		u, v = v, u
 	}
 	return [2]graph.NodeID{u, v}
@@ -106,7 +115,7 @@ func edgeKey(u, v graph.NodeID) [2]graph.NodeID {
 // happened and any flush error.
 func (s *Scheduler) Submit(ch graph.EdgeChange) (bool, error) {
 	s.stats.Submitted++
-	k := edgeKey(ch.U, ch.V)
+	k := s.edgeKey(ch.U, ch.V)
 	if i, ok := s.pendingIdx[k]; ok {
 		s.stats.Conflicts++
 		if s.pending[i].Insert != ch.Insert {
@@ -130,11 +139,11 @@ func (s *Scheduler) Submit(ch graph.EdgeChange) (bool, error) {
 func (s *Scheduler) removePending(i int) {
 	last := len(s.pending) - 1
 	removed := s.pending[i]
-	delete(s.pendingIdx, edgeKey(removed.U, removed.V))
+	delete(s.pendingIdx, s.edgeKey(removed.U, removed.V))
 	if i != last {
 		moved := s.pending[last]
 		s.pending[i] = moved
-		s.pendingIdx[edgeKey(moved.U, moved.V)] = i
+		s.pendingIdx[s.edgeKey(moved.U, moved.V)] = i
 	}
 	s.pending = s.pending[:last]
 }

@@ -133,6 +133,74 @@ func TestConflictCoalescing(t *testing.T) {
 	}
 }
 
+// On a directed graph u→v and v→u are distinct arcs: neither order may
+// coalesce against the other, while a true duplicate still does.
+func TestDirectedNoReversedCoalescing(t *testing.T) {
+	rec := &recordingUpdater{}
+	s, err := New(rec, Policy{MaxBatch: 100, Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (u,v) insert then (v,u) delete: both must survive.
+	mustSubmit(t, s, graph.EdgeChange{U: 1, V: 2, Insert: true})
+	mustSubmit(t, s, graph.EdgeChange{U: 2, V: 1, Insert: false})
+	if s.Pending() != 2 {
+		t.Errorf("reversed arcs coalesced on a directed graph, pending=%d", s.Pending())
+	}
+	// Reversed submission order as well.
+	mustSubmit(t, s, graph.EdgeChange{U: 4, V: 3, Insert: false})
+	mustSubmit(t, s, graph.EdgeChange{U: 3, V: 4, Insert: true})
+	if s.Pending() != 4 {
+		t.Errorf("reversed arcs coalesced on a directed graph, pending=%d", s.Pending())
+	}
+	if s.Stats().Conflicts != 0 {
+		t.Errorf("conflicts = %d on independent arcs", s.Stats().Conflicts)
+	}
+	// Same-order duplicates and cancellations still coalesce.
+	mustSubmit(t, s, graph.EdgeChange{U: 5, V: 6, Insert: true})
+	mustSubmit(t, s, graph.EdgeChange{U: 5, V: 6, Insert: true})
+	if s.Pending() != 5 {
+		t.Errorf("duplicate arc kept, pending=%d", s.Pending())
+	}
+	mustSubmit(t, s, graph.EdgeChange{U: 5, V: 6, Insert: false})
+	if s.Pending() != 4 {
+		t.Errorf("same-arc insert+delete did not cancel, pending=%d", s.Pending())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range rec.batches[0] {
+		got[c.String()] = true
+	}
+	for _, want := range []string{"ins(1,2)", "del(2,1)", "del(4,3)", "ins(3,4)"} {
+		if !got[want] {
+			t.Errorf("flushed batch missing %s: %v", want, got)
+		}
+	}
+}
+
+// The undirected default must keep treating both orders as one edge —
+// the behaviour TestConflictCoalescing already relies on, pinned here for
+// both submission orders explicitly.
+func TestUndirectedCoalescesBothOrders(t *testing.T) {
+	rec := &recordingUpdater{}
+	s, err := New(rec, Policy{MaxBatch: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, s, graph.EdgeChange{U: 1, V: 2, Insert: true})
+	mustSubmit(t, s, graph.EdgeChange{U: 2, V: 1, Insert: false})
+	mustSubmit(t, s, graph.EdgeChange{U: 4, V: 3, Insert: true})
+	mustSubmit(t, s, graph.EdgeChange{U: 3, V: 4, Insert: false})
+	if s.Pending() != 0 {
+		t.Errorf("undirected reversed pairs must cancel, pending=%d", s.Pending())
+	}
+	if s.Stats().Conflicts != 2 {
+		t.Errorf("conflicts = %d", s.Stats().Conflicts)
+	}
+}
+
 func mustSubmit(t *testing.T, s *Scheduler, ch graph.EdgeChange) {
 	t.Helper()
 	if _, err := s.Submit(ch); err != nil {
@@ -178,7 +246,7 @@ func TestSchedulerDrivesEngine(t *testing.T) {
 		if u == v {
 			continue
 		}
-		k := edgeKey(u, v)
+		k := s.edgeKey(u, v)
 		if pending[k] {
 			continue // keep the test stream conflict-free
 		}

@@ -36,7 +36,9 @@ func newObsServer(t *testing.T) (*Server, *inkstream.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(eng, &c), eng
+	s := New(eng, &c)
+	t.Cleanup(s.Close)
+	return s, eng
 }
 
 // absentEdges finds n distinct edges not present in g.
@@ -150,6 +152,23 @@ func TestMetricsExposition(t *testing.T) {
 	if got, _ := samples.Get("inkstream_update_batch_size_count"); got != 1 {
 		t.Errorf("batch size _count = %v, want 1", got)
 	}
+	// Snapshot pipeline metrics: the bootstrap snapshot is epoch 1, the
+	// applied batch published epoch 2, and nothing is in flight when the
+	// scrape runs (publish-before-ack).
+	if got, ok := samples.Get("inkstream_snapshot_epoch"); !ok || got != 2 {
+		t.Errorf("snapshot epoch = %v, %v; want 2", got, ok)
+	}
+	if got, ok := samples.Get("inkstream_snapshot_lag_batches"); !ok || got != 0 {
+		t.Errorf("snapshot lag = %v, %v; want 0", got, ok)
+	}
+	if got, ok := samples.Get("inkstream_reads_total"); !ok || got != 0 {
+		t.Errorf("reads total = %v, %v; want 0", got, ok)
+	}
+	// No journal configured: the group-commit histogram exists but is
+	// empty.
+	if got, ok := samples.Get("inkstream_group_commit_batch_size_count"); !ok || got != 0 {
+		t.Errorf("group commit _count = %v, %v; want 0", got, ok)
+	}
 }
 
 // TestMetricsSchedulerAndWAL covers the queue-depth gauges, flush-reason
@@ -207,6 +226,14 @@ func TestMetricsSchedulerAndWAL(t *testing.T) {
 	}
 	if got, _ := samples.Get("inkstream_wal_append_latency_seconds_count"); got != 1 {
 		t.Errorf("wal appends after flush = %v, want 1", got)
+	}
+	// The flushed batch rode one group commit covering one journaled
+	// request.
+	if got, _ := samples.Get("inkstream_group_commit_batch_size_count"); got != 1 {
+		t.Errorf("group commits after flush = %v, want 1", got)
+	}
+	if got, _ := samples.Get("inkstream_group_commit_batch_size_sum"); got != 1 {
+		t.Errorf("group commit batch sum = %v, want 1", got)
 	}
 	if got, _ := samples.Get("inkstream_wal_append_latency_seconds_sum"); got <= 0 {
 		t.Errorf("wal append latency sum = %v", got)

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/tensor"
+)
+
+// ErrServerClosed is returned for mutations submitted after (or racing
+// with) Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// maxGroup bounds how many queued requests one group commit may cover:
+// large enough to amortise the fsync under load, small enough to bound
+// the latency any single request waits behind the group.
+const maxGroup = 128
+
+// updateReq is one unit of work travelling the single-writer pipeline.
+// Exactly one of (delta/vups) or op is used: ordinary mutations carry the
+// batch and are journaled, while op requests (e.g. /v1/verify) run
+// exclusively on the apply stage without touching the journal.
+type updateReq struct {
+	delta graph.Delta
+	vups  []inkstream.VertexUpdate
+	op    func() error
+	err   error
+	done  chan error
+}
+
+// Apply submits one update batch into the single-writer pipeline and waits
+// until it is durable (when a journal is configured) and applied, with the
+// resulting snapshot published. It is the programmatic equivalent of
+// POST /v1/update + /v1/features and is safe for any number of concurrent
+// callers.
+func (s *Server) Apply(delta graph.Delta, vups []inkstream.VertexUpdate) error {
+	return s.do(delta, vups, nil)
+}
+
+// do enqueues a request and waits for its outcome.
+func (s *Server) do(delta graph.Delta, vups []inkstream.VertexUpdate, op func() error) error {
+	r := &updateReq{delta: delta, vups: vups, op: op, done: make(chan error, 1)}
+	select {
+	case <-s.quit:
+		return ErrServerClosed
+	case s.submitCh <- r:
+	}
+	if op == nil {
+		s.accepted.Add(1)
+	}
+	select {
+	case err := <-r.done:
+		return err
+	case <-s.quit:
+		// Shutdown raced the request; it may or may not have been applied.
+		return ErrServerClosed
+	}
+}
+
+// ReadEmbedding resolves one node against the currently published
+// snapshot with zero locking. The returned row is immutable (shared with
+// the snapshot) and valid indefinitely; epoch is the staleness bound the
+// caller may report. ok is false when the node is out of the snapshot's
+// range.
+func (s *Server) ReadEmbedding(node int) (row tensor.Vector, epoch uint64, ok bool) {
+	snap := s.engine.Snapshot()
+	s.reads.Add(1)
+	if node < 0 || node >= snap.NumNodes() {
+		return nil, snap.Epoch, false
+	}
+	return snap.Row(node), snap.Epoch, true
+}
+
+// Snapshot returns the currently published embedding snapshot. Safe from
+// any goroutine.
+func (s *Server) Snapshot() *inkstream.Snapshot { return s.engine.Snapshot() }
+
+// Close stops the pipeline and waits for both stages to exit. Requests
+// still in flight are failed with ErrServerClosed rather than drained;
+// anything already journaled remains durable and is recovered by WAL
+// replay. Reads keep working against the last published snapshot.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+// start launches the two pipeline stages. Called once from New, after
+// every configuration field exists; SetJournal/EnableBatching remain
+// "call before serving" because the stages read those fields unlocked.
+func (s *Server) start() {
+	s.wg.Add(2)
+	go s.journalLoop()
+	go s.applyLoop()
+}
+
+// journalLoop is stage 1 of the writer pipeline: it drains every request
+// queued behind the first one into a group (bounded by maxGroup), makes
+// the whole group durable under a single fsync (group commit), and hands
+// it to the apply stage. Because applyCh is buffered, the next group's
+// encode/append/fsync overlaps the engine compute of the previous one.
+func (s *Server) journalLoop() {
+	defer s.wg.Done()
+	defer close(s.applyCh)
+	for {
+		var first *updateReq
+		select {
+		case first = <-s.submitCh:
+		case <-s.quit:
+			return
+		}
+		group := append(make([]*updateReq, 0, 8), first)
+	drain:
+		for len(group) < maxGroup {
+			select {
+			case r := <-s.submitCh:
+				group = append(group, r)
+			default:
+				break drain
+			}
+		}
+		group = s.journalGroup(group)
+		if len(group) == 0 {
+			continue
+		}
+		select {
+		case s.applyCh <- group:
+		case <-s.quit:
+			for _, r := range group {
+				r.done <- ErrServerClosed
+			}
+			return
+		}
+	}
+}
+
+// journalGroup writes every journalable request of the group into the
+// journal and commits once. On a journal error the whole group's
+// mutations are failed and removed (the engine never sees them): a
+// response only ever reports success when the batch is durable. op
+// requests pass through untouched. Returns the surviving group.
+func (s *Server) journalGroup(group []*updateReq) []*updateReq {
+	if s.journal == nil {
+		return group
+	}
+	bj, batched := s.journal.(BatchJournal)
+	var jerr error
+	journaled := 0
+	for _, r := range group {
+		if r.op != nil || jerr != nil {
+			continue
+		}
+		if batched {
+			jerr = bj.AppendBuffered(r.delta, r.vups)
+		} else {
+			jerr = s.journal.Append(r.delta, r.vups)
+		}
+		if jerr == nil {
+			journaled++
+		}
+	}
+	if jerr == nil && batched && journaled > 0 {
+		jerr = bj.Commit()
+	}
+	if journaled > 0 && jerr == nil {
+		s.gcSize.Observe(int64(journaled))
+	}
+	if jerr == nil {
+		return group
+	}
+	out := group[:0]
+	for _, r := range group {
+		if r.op != nil {
+			out = append(out, r)
+			continue
+		}
+		s.processed.Add(1)
+		r.done <- fmt.Errorf("journal: %w", jerr)
+	}
+	return out
+}
+
+// applyLoop is stage 2: the only goroutine that ever mutates the engine.
+// It applies each request of a group, publishes one snapshot covering the
+// whole group, and only then acknowledges the requests — so a successful
+// response implies the served snapshot already reflects the update
+// (read-your-writes: the paper's "instantaneous" availability).
+func (s *Server) applyLoop() {
+	defer s.wg.Done()
+	for group := range s.applyCh {
+		var mutations uint64
+		for _, r := range group {
+			if r.op != nil {
+				r.err = r.op()
+				continue
+			}
+			r.err = s.engine.Apply(r.delta, r.vups)
+			if r.err == nil {
+				s.updates.Add(1)
+			}
+			mutations++
+		}
+		if mutations > 0 {
+			s.engine.PublishSnapshot()
+			s.processed.Add(mutations)
+		}
+		for _, r := range group {
+			r.done <- r.err
+		}
+	}
+}

@@ -12,13 +12,22 @@
 //	GET  /v1/healthz
 //	GET  /metrics       (Prometheus text exposition)
 //
-// All mutations serialise on one engine lock; reads take the same lock
-// briefly to copy a row. The handlers never expose partial states.
+// Concurrency model (DESIGN.md §8): reads never block on writes. All
+// mutations funnel into a single-writer pipeline — requests enqueue onto a
+// channel drained by a journal stage (which makes a whole group of queued
+// batches durable under one fsync, "group commit") feeding an apply stage
+// (the only goroutine that mutates the engine). After each applied group
+// the engine publishes an immutable, epoch-stamped embedding snapshot via
+// an atomic pointer; every read handler resolves against the current
+// snapshot with zero locking and reports the snapshot epoch it observed.
+// A successful mutation response implies the batch is durable, applied,
+// and visible in the published snapshot (read-your-writes).
 //
 // Observability: every server owns an obs.Observer shared with its engine
 // (per-update latency/size histograms, slow-update traces) and an
 // obs.Registry exposing them — plus the work counters, per-condition visit
-// totals, scheduler queue state and WAL append latency — at GET /metrics.
+// totals, scheduler queue state, WAL commit latency, snapshot epoch/lag
+// and group-commit batch sizes — at GET /metrics.
 package server
 
 import (
@@ -28,6 +37,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -38,33 +48,65 @@ import (
 	"repro/internal/tensor"
 )
 
-// Server wraps an engine with HTTP handlers.
+// Server wraps an engine with HTTP handlers and the single-writer update
+// pipeline. The engine is owned by the apply stage after New returns;
+// nothing else may mutate it.
 type Server struct {
-	mu       sync.Mutex
 	engine   *inkstream.Engine
 	counters *metrics.Counters
-	updates  int64
-	batcher  *scheduler.Scheduler
 	journal  Journal
+
+	// Pipeline plumbing (pipeline.go).
+	submitCh  chan *updateReq
+	applyCh   chan []*updateReq
+	quit      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	updates   atomic.Int64  // successful mutation requests
+	reads     atomic.Int64  // embedding reads resolved against a snapshot
+	accepted  atomic.Uint64 // mutation batches accepted into the pipeline
+	processed atomic.Uint64 // mutation batches reflected in (or rejected
+	// before) the published snapshot; accepted-processed is the lag
+
+	// mu guards only the batching scheduler; the read path never takes it.
+	mu      sync.Mutex
+	batcher *scheduler.Scheduler
 
 	obs    *obs.Observer
 	reg    *obs.Registry
 	walLat *obs.Histogram
+	gcSize *obs.Histogram
 }
 
 // Journal records every applied batch before it reaches the engine
-// (write-ahead logging); persist.WAL implements it. A journal Append
-// failure aborts the update, so a successful response implies the batch is
-// durable.
+// (write-ahead logging); persist.WAL implements it. A journal failure
+// fails the update before the engine sees it, so a successful response
+// implies the batch is durable.
 type Journal interface {
 	Append(delta graph.Delta, vups []inkstream.VertexUpdate) error
+}
+
+// BatchJournal is the group-commit extension of Journal (implemented by
+// persist.WAL): AppendBuffered stages records without durability and one
+// Commit fsyncs them all. When the configured journal supports it, the
+// pipeline's journal stage covers every request queued behind an fsync
+// with that single fsync.
+type BatchJournal interface {
+	Journal
+	AppendBuffered(delta graph.Delta, vups []inkstream.VertexUpdate) error
+	Commit() error
 }
 
 // New wraps an engine; counters may be the same instance the engine
 // records into (or nil). The server reuses the engine's observer when one
 // was installed at construction (so CLI-configured tracing keeps working)
-// and otherwise installs a fresh one, then builds the /metrics registry
-// over it.
+// and otherwise installs a fresh one, builds the /metrics registry,
+// publishes the initial embedding snapshot (epoch 1), and starts the
+// writer pipeline. Call Close to stop it.
+//
+// Configuration methods (SetJournal, EnableBatching, EnableSlowUpdateLog)
+// must be called before the first request is served.
 func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	s := &Server{engine: engine, counters: counters}
 	s.obs = engine.Observer()
@@ -73,8 +115,16 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 		engine.SetObserver(s.obs)
 	}
 	s.walLat = obs.NewLatencyHistogram()
+	s.gcSize = obs.NewSizeHistogram()
 	s.reg = obs.NewRegistry()
 	s.buildRegistry()
+	// Epoch 1 reflects the bootstrapped state, so readers always have a
+	// snapshot to resolve against.
+	engine.PublishSnapshot()
+	s.submitCh = make(chan *updateReq, 4*maxGroup)
+	s.applyCh = make(chan []*updateReq, 1)
+	s.quit = make(chan struct{})
+	s.start()
 	return s
 }
 
@@ -104,11 +154,13 @@ func (s *Server) EnableSlowUpdateLog(threshold time.Duration, traceAll bool, log
 	}
 }
 
-// buildRegistry registers every exposed family. Gauges over mutex-guarded
-// state lock s.mu inside their sample closure; WriteText never runs with
-// the lock held, so this cannot deadlock.
+// buildRegistry registers every exposed family. Engine-derived values are
+// sampled from the immutable published snapshot, so scraping never
+// touches mutable engine state; only the scheduler gauges lock s.mu
+// inside their sample closure.
 func (s *Server) buildRegistry() {
 	r := s.reg
+	snap := func() *inkstream.Snapshot { return s.engine.Snapshot() }
 	r.CounterFunc("inkstream_updates_total",
 		"Update batches applied by the engine (edge and vertex-feature).",
 		func() float64 { return float64(s.obs.Updates()) })
@@ -127,9 +179,7 @@ func (s *Server) buildRegistry() {
 	r.LabeledCounterFunc("inkstream_node_visits_total",
 		"Per-layer node visits by InkStream condition (paper Fig. 8 taxonomy).",
 		func() []obs.LabeledValue {
-			s.mu.Lock()
-			st := *s.engine.Stats()
-			s.mu.Unlock()
+			st := snap().Conditions
 			counts := make(map[string]int64, len(st.Counts))
 			for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
 				counts[c.String()] = st.Counts[c]
@@ -137,26 +187,35 @@ func (s *Server) buildRegistry() {
 			return obs.SortedLabeled("condition", counts)
 		})
 	r.GaugeFunc("inkstream_graph_nodes",
-		"Nodes in the maintained graph.",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.engine.Graph().NumNodes())
-		})
+		"Nodes in the maintained graph (as of the published snapshot).",
+		func() float64 { return float64(snap().Nodes) })
 	r.GaugeFunc("inkstream_graph_edges",
-		"Edges in the maintained graph.",
+		"Edges in the maintained graph (as of the published snapshot).",
+		func() float64 { return float64(snap().Edges) })
+	r.GaugeFunc("inkstream_snapshot_epoch",
+		"Epoch of the currently published embedding snapshot.",
+		func() float64 { return float64(snap().Epoch) })
+	r.GaugeFunc("inkstream_snapshot_lag_batches",
+		"Mutation batches accepted by the pipeline but not yet reflected in the published snapshot (reader staleness bound).",
 		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.engine.Graph().NumEdges())
+			// Load processed first so a concurrent publish can only shrink
+			// the reported lag, never make it negative.
+			p := s.processed.Load()
+			a := s.accepted.Load()
+			if a < p {
+				return 0
+			}
+			return float64(a - p)
 		})
+	r.CounterFunc("inkstream_reads_total",
+		"Embedding reads resolved against a published snapshot (lock-free path).",
+		func() float64 { return float64(s.reads.Load()) })
+	r.Histogram("inkstream_group_commit_batch_size",
+		"Journaled update batches covered by one WAL fsync (group commit).",
+		1, s.gcSize)
 	r.CounterFunc("inkstream_http_updates_served_total",
 		"Successful mutation requests (/v1/update, /v1/features, flushed /v1/submit).",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.updates)
-		})
+		func() float64 { return float64(s.updates.Load()) })
 	if s.counters != nil {
 		r.CounterFunc("inkstream_bytes_fetched_total",
 			"Embedding/feature bytes read by inference (Table V memory cost).",
@@ -202,13 +261,14 @@ func (s *Server) buildRegistry() {
 			})
 		})
 	r.Histogram("inkstream_wal_append_latency_seconds",
-		"Durability cost per journaled batch: encode, write, flush and fsync.",
+		"Durability cost per WAL commit: encode, write, flush and fsync (one commit may cover a whole group).",
 		1e-9, s.walLat)
 }
 
 // SetJournal installs a write-ahead journal; call before serving. Journals
-// that can observe their append latency (persist.WAL) are handed the
-// registered WAL histogram.
+// that can observe their commit latency (persist.WAL) are handed the
+// registered WAL histogram. Journals implementing BatchJournal get group
+// commit: one fsync covers every request queued behind it.
 func (s *Server) SetJournal(j Journal) {
 	s.journal = j
 	if h, ok := j.(interface{ SetLatencyHistogram(*obs.Histogram) }); ok {
@@ -216,28 +276,20 @@ func (s *Server) SetJournal(j Journal) {
 	}
 }
 
-// applyDelta journals (when configured) and applies one edge batch; the
-// caller holds the lock.
-func (s *Server) applyDelta(d graph.Delta) error {
-	if s.journal != nil {
-		if err := s.journal.Append(d, nil); err != nil {
-			return fmt.Errorf("journal: %w", err)
-		}
-	}
-	return s.engine.Update(d)
-}
-
-// deltaApplier adapts applyDelta to scheduler.Updater.
+// deltaApplier adapts the pipeline to scheduler.Updater.
 type deltaApplier struct{ s *Server }
 
-func (a deltaApplier) Update(d graph.Delta) error { return a.s.applyDelta(d) }
+func (a deltaApplier) Update(d graph.Delta) error { return a.s.Apply(d, nil) }
 
 // EnableBatching installs a scheduler for the /v1/submit endpoint: single
 // edge events are coalesced and flushed as ΔG batches per the policy —
-// the Fig. 7 latency/staleness trade-off made operational. Call before
+// the Fig. 7 latency/staleness trade-off made operational. The scheduler
+// inherits the engine graph's directedness, so coalescing only treats
+// (u,v) and (v,u) as the same edge on undirected graphs. Call before
 // serving. Callers should also run a periodic Tick (see Tick) so the
 // staleness deadline fires during quiet periods.
 func (s *Server) EnableBatching(p scheduler.Policy) error {
+	p.Directed = !s.engine.Graph().Undirected
 	b, err := scheduler.New(deltaApplier{s}, p)
 	if err != nil {
 		return err
@@ -291,27 +343,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	flushed, err := s.batcher.Submit(graph.EdgeChange{U: ch.U, V: ch.V, Insert: ch.Insert})
-	if err == nil && flushed {
-		s.updates++
-	}
 	pending := s.batcher.Pending()
 	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
+		httpError(w, mutationStatus(err), "applying batch: %v", err)
 		return
 	}
 	writeJSON(w, SubmitResponse{Flushed: flushed, Pending: pending})
 }
 
 // handleVerify recomputes the full inference and compares it against the
-// maintained state (Engine.Verify) — an operational self-check. It is a
-// POST because it is expensive.
+// maintained state (Engine.Verify) — an operational self-check. It runs as
+// an exclusive operation on the apply stage, so it never races an update.
+// It is a POST because it is expensive.
 func (s *Server) handleVerify(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
 	t0 := time.Now()
-	err := s.engine.Verify(2e-3)
+	err := s.do(nil, nil, func() error { return s.engine.Verify(2e-3) })
 	lat := time.Since(t0)
-	s.mu.Unlock()
+	if err == ErrServerClosed {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "verification failed: %v", err)
 		return
@@ -331,10 +383,21 @@ type UpdateRequest struct {
 	Changes []EdgeChangeJSON `json:"changes"`
 }
 
-// UpdateResponse reports the applied batch.
+// UpdateResponse reports the applied batch. Epoch is a published snapshot
+// epoch that covers the batch: any read observing this epoch (or later)
+// sees the update.
 type UpdateResponse struct {
 	Applied   int     `json:"applied"`
+	Epoch     uint64  `json:"epoch"`
 	LatencyMS float64 `json:"latency_ms"`
+}
+
+// mutationStatus maps a pipeline error to an HTTP status.
+func mutationStatus(err error) int {
+	if err == ErrServerClosed {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -351,19 +414,18 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for i, c := range req.Changes {
 		delta[i] = graph.EdgeChange{U: c.U, V: c.V, Insert: c.Insert}
 	}
-	s.mu.Lock()
 	t0 := time.Now()
-	err := s.applyDelta(delta)
+	err := s.Apply(delta, nil)
 	lat := time.Since(t0)
-	if err == nil {
-		s.updates++
-	}
-	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
+		httpError(w, mutationStatus(err), "applying batch: %v", err)
 		return
 	}
-	writeJSON(w, UpdateResponse{Applied: len(delta), LatencyMS: float64(lat.Microseconds()) / 1000})
+	writeJSON(w, UpdateResponse{
+		Applied:   len(delta),
+		Epoch:     s.engine.Snapshot().Epoch,
+		LatencyMS: float64(lat.Microseconds()) / 1000,
+	})
 }
 
 // FeatureUpdateJSON is one vertex-feature replacement in the wire format.
@@ -391,33 +453,32 @@ func (s *Server) handleFeatures(w http.ResponseWriter, r *http.Request) {
 	for i, u := range req.Updates {
 		ups[i] = inkstream.VertexUpdate{Node: u.Node, X: tensor.Vector(u.X)}
 	}
-	s.mu.Lock()
 	t0 := time.Now()
-	err := error(nil)
-	if s.journal != nil {
-		err = s.journal.Append(nil, ups)
-	}
-	if err == nil {
-		err = s.engine.UpdateVertices(ups)
-	}
+	err := s.Apply(nil, ups)
 	lat := time.Since(t0)
-	if err == nil {
-		s.updates++
-	}
-	s.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "applying features: %v", err)
+		httpError(w, mutationStatus(err), "applying features: %v", err)
 		return
 	}
-	writeJSON(w, UpdateResponse{Applied: len(ups), LatencyMS: float64(lat.Microseconds()) / 1000})
+	writeJSON(w, UpdateResponse{
+		Applied:   len(ups),
+		Epoch:     s.engine.Snapshot().Epoch,
+		LatencyMS: float64(lat.Microseconds()) / 1000,
+	})
 }
 
-// EmbeddingResponse is the body of GET /v1/embedding.
+// EmbeddingResponse is the body of GET /v1/embedding. Epoch is the
+// snapshot epoch the embedding was resolved against — the staleness bound
+// the reader observed.
 type EmbeddingResponse struct {
 	Node      int32     `json:"node"`
+	Epoch     uint64    `json:"epoch"`
 	Embedding []float32 `json:"embedding"`
 }
 
+// handleEmbedding serves one node's embedding from the published snapshot
+// with zero locking: a read is an atomic pointer load plus a row lookup,
+// regardless of what the writer pipeline is doing.
 func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	nodeStr := r.URL.Query().Get("node")
 	node, err := strconv.Atoi(nodeStr)
@@ -425,17 +486,12 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad node %q", nodeStr)
 		return
 	}
-	s.mu.Lock()
-	var row tensor.Vector
-	if node >= 0 && node < s.engine.Graph().NumNodes() {
-		row = s.engine.Output().Row(node).Clone()
-	}
-	s.mu.Unlock()
-	if row == nil {
+	row, epoch, ok := s.ReadEmbedding(node)
+	if !ok {
 		httpError(w, http.StatusNotFound, "node %d out of range", node)
 		return
 	}
-	writeJSON(w, EmbeddingResponse{Node: int32(node), Embedding: row})
+	writeJSON(w, EmbeddingResponse{Node: int32(node), Epoch: epoch, Embedding: row})
 }
 
 // LatencyQuantiles summarises the update-latency histogram, in
@@ -449,10 +505,15 @@ type LatencyQuantiles struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Nodes         int   `json:"nodes"`
-	Edges         int   `json:"edges"`
-	UpdatesServed int64 `json:"updates_served"`
-	SlowUpdates   int64 `json:"slow_updates"`
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// Epoch is the published snapshot epoch the stats were read from;
+	// SnapshotLag the number of accepted batches it does not yet cover.
+	Epoch         uint64 `json:"epoch"`
+	SnapshotLag   uint64 `json:"snapshot_lag"`
+	UpdatesServed int64  `json:"updates_served"`
+	ReadsServed   int64  `json:"reads_served"`
+	SlowUpdates   int64  `json:"slow_updates"`
 	// Pending is the batching scheduler's queue depth (0 when batching is
 	// disabled); MaxPending its high-water mark.
 	Pending       int              `json:"pending"`
@@ -463,30 +524,38 @@ type StatsResponse struct {
 	UpdateLatency LatencyQuantiles `json:"update_latency"`
 }
 
+// handleStats reads everything from the published snapshot, atomics and
+// the observer — never from mutable engine state — so it stays lock-free
+// apart from the scheduler queue gauges.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	snap := s.engine.Snapshot()
 	resp := StatsResponse{
-		Nodes:         s.engine.Graph().NumNodes(),
-		Edges:         s.engine.Graph().NumEdges(),
-		UpdatesServed: s.updates,
+		Nodes:         snap.Nodes,
+		Edges:         snap.Edges,
+		Epoch:         snap.Epoch,
+		UpdatesServed: s.updates.Load(),
+		ReadsServed:   s.reads.Load(),
 		Conditions:    map[string]int64{},
 	}
-	st := s.engine.Stats()
+	if p, a := s.processed.Load(), s.accepted.Load(); a > p {
+		resp.SnapshotLag = a - p
+	}
 	for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
-		if n := st.Counts[c]; n > 0 {
+		if n := snap.Conditions.Counts[c]; n > 0 {
 			resp.Conditions[c.String()] = n
 		}
 	}
 	if s.batcher != nil {
+		s.mu.Lock()
 		resp.Pending = s.batcher.Pending()
 		resp.MaxPending = s.batcher.Stats().MaxPending
+		s.mu.Unlock()
 	}
 	if s.counters != nil {
-		snap := s.counters.Snapshot()
-		resp.BytesFetched = snap.BytesFetched
-		resp.Events = snap.EventsProcessed
+		cs := s.counters.Snapshot()
+		resp.BytesFetched = cs.BytesFetched
+		resp.Events = cs.EventsProcessed
 	}
-	s.mu.Unlock()
 	resp.SlowUpdates = s.obs.SlowUpdates()
 	lat := s.obs.UpdateLatency.Snapshot()
 	const ms = 1e-6 // nanoseconds → milliseconds

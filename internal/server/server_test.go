@@ -28,8 +28,12 @@ func newTestServer(t *testing.T) (*httptest.Server, *inkstream.Engine) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(New(eng, &c).Handler())
-	t.Cleanup(ts.Close)
+	s := New(eng, &c)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
 	return ts, eng
 }
 
@@ -158,6 +162,10 @@ func TestEmbeddingFlow(t *testing.T) {
 	if out.Node != 7 || len(out.Embedding) != eng.Model().OutDim() {
 		t.Errorf("response node=%d dim=%d", out.Node, len(out.Embedding))
 	}
+	// Reads resolve against the bootstrap snapshot until an update lands.
+	if out.Epoch != 1 {
+		t.Errorf("embedding epoch = %d, want 1", out.Epoch)
+	}
 	for _, bad := range []string{"node=99999", "node=-1", "node=abc", ""} {
 		resp, err := http.Get(ts.URL + "/v1/embedding?" + bad)
 		if err != nil {
@@ -214,6 +222,7 @@ func TestSubmitBatchingFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := New(eng, nil)
+	defer srv.Close()
 	if err := srv.EnableBatching(scheduler.Policy{MaxBatch: 3}); err != nil {
 		t.Fatal(err)
 	}

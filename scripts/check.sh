@@ -15,7 +15,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
-    ./internal/obs ./internal/server
+    ./internal/obs ./internal/server ./internal/scheduler ./internal/persist
 
 # Observability must stay essentially free on the engine hot path.
 scripts/obs_overhead.sh
