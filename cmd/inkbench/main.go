@@ -44,6 +44,8 @@ func run(args []string) error {
 		ginLayers = fs.Int("gin-layers", 5, "GIN depth")
 		readers   = fs.Int("readers", 4, "concurrent readers in the mixed read/write workload (experiment: mixed)")
 		mixedUpds = fs.Int("mixed-updates", 200, "update batches streamed by the mixed workload")
+		burstDep  = fs.Int("burst-depth", 8, "updates kept in flight (pipeline queue depth) in the burst scenario (experiment: burst)")
+		burstUpds = fs.Int("burst-updates", 2000, "total single-change updates per coalescing mode in the burst scenario")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
 		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -82,6 +84,8 @@ func run(args []string) error {
 	cfg.GINLayers = *ginLayers
 	cfg.Readers = *readers
 	cfg.MixedUpdates = *mixedUpds
+	cfg.BurstDepth = *burstDep
+	cfg.BurstUpdates = *burstUpds
 	if *datasets != "" {
 		cfg.Datasets = nil
 		for _, name := range strings.Split(*datasets, ",") {

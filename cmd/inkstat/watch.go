@@ -63,10 +63,14 @@ func summaryLine(s obs.Samples) string {
 	if gcCount > 0 {
 		gcMean = get("inkstream_group_commit_batch_size_sum") / gcCount
 	}
-	return fmt.Sprintf("serving: epoch=%.0f  lag=%.0f  updates=%.0f  reads=%.0f  group-commits=%.0f (avg batch %.1f)",
+	coMean := 0.0
+	if coCount := get("inkstream_coalesced_batch_size_count"); coCount > 0 {
+		coMean = get("inkstream_coalesced_batch_size_sum") / coCount
+	}
+	return fmt.Sprintf("serving: epoch=%.0f  lag=%.0f  updates=%.0f  reads=%.0f  group-commits=%.0f (avg batch %.1f)  fused=%.1f  stalls=%.0f",
 		get("inkstream_snapshot_epoch"), get("inkstream_snapshot_lag_batches"),
 		get("inkstream_updates_total"), get("inkstream_reads_total"),
-		gcCount, gcMean)
+		gcCount, gcMean, coMean, get("inkstream_coalesce_stalls_total"))
 }
 
 // watchLine summarises one scrape window. Rates come from counter deltas;
@@ -112,9 +116,16 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	if dc := delta("inkstream_group_commit_batch_size_count"); dc > 0 {
 		gcBatch = delta("inkstream_group_commit_batch_size_sum") / dc
 	}
-	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f",
+	// Mean server-side fusion factor over the window (requests per fused
+	// engine batch; 0 when the window applied nothing).
+	fused := 0.0
+	if dc := delta("inkstream_coalesced_batch_size_count"); dc > 0 {
+		fused = delta("inkstream_coalesced_batch_size_sum") / dc
+	}
+	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f  fused=%.1f  stalls=%.0f",
 		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending,
-		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch)
+		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch, fused,
+		delta("inkstream_coalesce_stalls_total"))
 }
 
 // visitRatio returns the windowed share of node visits resolved as cond,

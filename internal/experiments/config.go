@@ -47,6 +47,14 @@ type Config struct {
 	// MixedUpdates is the number of ΔG batches the mixed workload streams
 	// through the server pipeline.
 	MixedUpdates int
+	// BurstDepth is the pipeline queue depth of the sustained-burst
+	// throughput scenario (experiment "burst"): how many single-change
+	// updates the pipelined client keeps in flight — the depth the
+	// coalescing comparison is measured at.
+	BurstDepth int
+	// BurstUpdates is the total number of single-change updates the burst
+	// scenario pushes through each coalescing mode.
+	BurstUpdates int
 }
 
 // Default returns the standard configuration used by cmd/inkbench.
@@ -93,6 +101,12 @@ func (c Config) normalize() Config {
 	}
 	if c.MixedUpdates < 1 {
 		c.MixedUpdates = 200
+	}
+	if c.BurstDepth < 1 {
+		c.BurstDepth = 8
+	}
+	if c.BurstUpdates < 1 {
+		c.BurstUpdates = 2000
 	}
 	return c
 }

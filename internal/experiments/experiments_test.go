@@ -387,7 +387,7 @@ func TestScalingSweep(t *testing.T) {
 }
 
 func TestRunnerRegistry(t *testing.T) {
-	if len(Names()) != 14 {
+	if len(Names()) != 15 {
 		t.Errorf("registry size = %d", len(Names()))
 	}
 	if _, err := Run("nope", tiny()); err == nil {

@@ -75,12 +75,10 @@ func Mixed(c Config) (MixedResult, error) {
 		go func(r int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(c.Seed + int64(r) + 1000))
+			// The stop check follows the read, so every reader reports at
+			// least one sample even if a short update stream finishes before
+			// the scheduler first runs this goroutine.
 			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
 				time.Sleep(readPace)
 				node := rng.Intn(nodes)
 				t0 := time.Now()
@@ -91,6 +89,11 @@ func Mixed(c Config) (MixedResult, error) {
 				readCounts[r]++
 				if len(readLats[r]) < maxSamples {
 					readLats[r] = append(readLats[r], lat)
+				}
+				select {
+				case <-stop:
+					return
+				default:
 				}
 			}
 		}(r)

@@ -2,6 +2,8 @@ package inkstream
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -29,8 +31,20 @@ type Options struct {
 	// one source (DESIGN.md §4.1): every event carries its own copy.
 	CopyPayloads bool
 	// Sequential disables intra-layer parallel processing of grouped
-	// targets.
+	// targets (and, since it idles the worker pool, parallel sharded event
+	// routing too).
 	Sequential bool
+	// DisableShardedGrouping forces sequential event routing even for
+	// layers whose event count crosses the sharding threshold. It changes
+	// performance only: the sharded router is bit-exact with the
+	// sequential one (DESIGN.md §9).
+	DisableShardedGrouping bool
+	// ShardMinEvents is the per-layer event count at which event routing
+	// fans out across the tensor worker pool; 0 means the built-in
+	// default (512). Layers below the threshold route sequentially —
+	// the sharded path's partition passes only pay off once routing
+	// dominates.
+	ShardMinEvents int
 	// Trace, when set, is invoked once per visited node per layer with
 	// the node's classification, after that layer completes (in sorted
 	// target order, from a single goroutine). For observability and
@@ -88,6 +102,11 @@ type Engine struct {
 	conds  []Condition
 	evBuf  []Event
 	uevBuf []UserEvent
+
+	// routeN stages one layer's full native event list (changed-edge events
+	// plus carried events) ahead of grouping, so the sharded router can
+	// partition it; reused across layers and Applies.
+	routeN []Event
 
 	// scratchPools[l] recycles processTarget worker scratch for layer l.
 	scratchPools []sync.Pool
@@ -322,7 +341,8 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 			e.degDelta = make(map[graph.NodeID]int)
 		}
 		for _, ch := range delta {
-			for _, a := range e.arcsOf(ch) {
+			arcs, na := e.arcsOf(ch)
+			for _, a := range arcs[:na] {
 				if ch.Insert {
 					e.insArcs[a] = struct{}{}
 					e.degDelta[a[1]]++
@@ -368,16 +388,34 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 			conds0 = e.layerStats[l]
 			phase0 = time.Now()
 		}
-		e.gr.begin(e.model.Layers[l].MsgDim())
-		e.enqueueChangedEdges(e.gr, l, delta, oldMsg)
+		// Stage the layer's full native event list — changed-edge events
+		// first, then the carried events, matching the historical arrival
+		// order — and route it through the grouper: sequentially for small
+		// layers, across the worker pool for large ones. Both routes yield
+		// identical groups in identical order (DESIGN.md §9), so the choice
+		// is invisible to everything downstream.
+		e.routeN = e.appendChangedEdgeEvents(e.routeN[:0], l, delta, oldMsg)
+		fetched := 0
 		for _, ev := range carried {
-			e.c.FetchVec(len(ev.Payload))
-			e.gr.addNative(ev)
+			fetched += len(ev.Payload)
 		}
-		for _, ev := range carriedUser {
-			e.gr.addUser(ev)
+		e.c.FetchVec(fetched)
+		e.routeN = append(e.routeN, carried...)
+		dim := e.model.Layers[l].MsgDim()
+		var groups []*group
+		if S := e.shardCount(len(e.routeN) + len(carriedUser)); S > 1 {
+			e.gr.beginSharded(dim, S)
+			groups = e.gr.groupSharded(e.routeN, carriedUser, e.hooks)
+		} else {
+			e.gr.begin(dim)
+			for _, ev := range e.routeN {
+				e.gr.addNative(ev)
+			}
+			for _, ev := range carriedUser {
+				e.gr.addUser(ev)
+			}
+			groups = e.gr.finish(e.hooks)
 		}
-		groups := e.gr.finish(e.hooks)
 		carried, carriedUser = e.processLayer(l, groups)
 		if observing {
 			span.Elapsed = time.Since(phase0)
@@ -405,13 +443,66 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 // goroutine only.
 func (e *Engine) AppliedBatches() uint64 { return e.snap.applied }
 
-// arcsOf expands a logical edge change into its directed arcs.
-func (e *Engine) arcsOf(ch graph.EdgeChange) [][2]graph.NodeID {
+// arcsOf expands a logical edge change into its directed arcs without
+// allocating: the arcs come back by value in a fixed-size array, with n
+// reporting how many are live (2 when the graph is undirected, else 1).
+// Callers iterate arcs[:n].
+func (e *Engine) arcsOf(ch graph.EdgeChange) (arcs [2][2]graph.NodeID, n int) {
+	arcs[0] = [2]graph.NodeID{ch.U, ch.V}
 	if e.g.Undirected {
-		return [][2]graph.NodeID{{ch.U, ch.V}, {ch.V, ch.U}}
+		arcs[1] = [2]graph.NodeID{ch.V, ch.U}
+		return arcs, 2
 	}
-	return [][2]graph.NodeID{{ch.U, ch.V}}
+	return arcs, 1
 }
+
+// shardCount decides how many grouper shards the upcoming layer's event
+// routing uses: 1 (sequential) below the event threshold or when any
+// ablation/option rules out pool work; otherwise twice the effective worker
+// count — ParallelForGrain inlines regions smaller than two chunks per
+// worker, and the 2× headroom also absorbs the up-to-2× shard imbalance of
+// the power-of-two block partition — capped at maxShards so the per-chunk
+// count matrix of the partition passes stays small.
+func (e *Engine) shardCount(nEvents int) int {
+	if e.opts.Sequential || e.opts.DisableGrouping || e.opts.DisableShardedGrouping {
+		return 1
+	}
+	minEv := e.opts.ShardMinEvents
+	if minEv <= 0 {
+		minEv = defaultShardMinEvents
+	}
+	if nEvents < minEv {
+		return 1
+	}
+	w := tensor.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w <= 1 {
+		// One worker: the partition passes cost memory traffic and buy no
+		// parallelism — the direct sequential grouper is strictly better.
+		return 1
+	}
+	s := 2 * w
+	if s > maxShards {
+		s = maxShards
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
+}
+
+const (
+	// defaultShardMinEvents gates the sharded router: below this many
+	// events per layer, sequential routing wins (the partition passes and
+	// pool handoff cost more than they save). Same spirit as
+	// tensor.MinChunkWork, measured in events rather than grain units.
+	defaultShardMinEvents = 512
+	// maxShards bounds the shard count (and must stay ≤ 256: the
+	// partition records shard owners in a uint8).
+	maxShards = 32
+)
 
 // snapshotRemovedSources clones the pre-batch message rows of every removed
 // arc's source node at every layer. Insert-only (and empty) deltas return
@@ -444,7 +535,8 @@ func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]te
 		if ch.Insert {
 			continue
 		}
-		for _, a := range e.arcsOf(ch) {
+		arcs, na := e.arcsOf(ch)
+		for _, a := range arcs[:na] {
 			src := a[0]
 			for l := 0; l < L; l++ {
 				if _, ok := out[l][src]; !ok {
@@ -456,19 +548,22 @@ func (e *Engine) snapshotRemovedSources(delta graph.Delta) []map[graph.NodeID]te
 	return out
 }
 
-// enqueueChangedEdges creates the layer-l events for ΔG (Sec. II-B2,
+// appendChangedEdgeEvents creates the layer-l events for ΔG (Sec. II-B2,
 // "Propagate for changed edges"): for a removed arc (u,v) an event
 // cancelling the old message m⁻_{l,u} at v; for an inserted arc (s,t) an
 // event adding the current message m_{l,s} — which the previous layer's
-// processing has already refreshed if s was affected.
-func (e *Engine) enqueueChangedEdges(gr *grouper, l int, delta graph.Delta, oldMsg []map[graph.NodeID]tensor.Vector) {
+// processing has already refreshed if s was affected. Events are appended
+// to evts (rather than routed into the grouper directly) so Apply can
+// hand the complete list to either the sequential or the sharded router.
+func (e *Engine) appendChangedEdgeEvents(evts []Event, l int, delta graph.Delta, oldMsg []map[graph.NodeID]tensor.Vector) []Event {
 	agg := e.model.Layers[l].Agg()
 	dim := e.model.Layers[l].MsgDim()
 	if len(e.negCache) > 0 {
 		clear(e.negCache)
 	}
 	for _, ch := range delta {
-		for _, a := range e.arcsOf(ch) {
+		arcs, na := e.arcsOf(ch)
+		for _, a := range arcs[:na] {
 			src, dst := a[0], a[1]
 			var ev Event
 			switch {
@@ -491,9 +586,10 @@ func (e *Engine) enqueueChangedEdges(gr *grouper, l int, delta graph.Delta, oldM
 				ev = Event{Op: OpUpdate, Target: dst, Payload: neg}
 			}
 			e.c.FetchVec(dim)
-			gr.addNative(ev)
+			evts = append(evts, ev)
 		}
 	}
+	return evts
 }
 
 // payload returns p, or a private copy when payload sharing is ablated.
@@ -671,8 +767,16 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 // Sec. II-B2).
 func (e *Engine) fanOut(u graph.NodeID, nextAgg gnn.Aggregator, oldM, newM tensor.Vector, evts []Event) []Event {
 	nbrs := e.g.OutNeighbors(u)
+	if len(nbrs) == 0 {
+		return evts
+	}
+	// Reserve the worst-case capacity up front: high-degree fan-out would
+	// otherwise pay repeated slice growth inside the per-neighbor loop.
 	var diff tensor.Vector
-	if !nextAgg.Monotonic() {
+	if nextAgg.Monotonic() {
+		evts = slices.Grow(evts, 2*len(nbrs))
+	} else {
+		evts = slices.Grow(evts, len(nbrs))
 		diff = e.arena.alloc(len(newM))
 		tensor.Sub(diff, newM, oldM)
 	}

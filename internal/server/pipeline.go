@@ -39,6 +39,26 @@ func (s *Server) Apply(delta graph.Delta, vups []inkstream.VertexUpdate) error {
 	return s.do(delta, vups, nil)
 }
 
+// ApplyAsync submits one update batch into the pipeline without waiting
+// for the outcome: the returned channel delivers the single acknowledgement
+// (nil on success) once the batch is durable, applied, and covered by a
+// published snapshot. It is how a pipelined client keeps several updates in
+// flight from one goroutine — the queued-behind-the-in-flight-update regime
+// that server-side coalescing fuses. If the server closes before a request
+// reaches the apply stage its channel may never receive, so callers that do
+// not control the server's lifetime should select against their own
+// shutdown signal rather than wait unconditionally.
+func (s *Server) ApplyAsync(delta graph.Delta, vups []inkstream.VertexUpdate) (<-chan error, error) {
+	r := &updateReq{delta: delta, vups: vups, done: make(chan error, 1)}
+	select {
+	case <-s.quit:
+		return nil, ErrServerClosed
+	case s.submitCh <- r:
+	}
+	s.accepted.Add(1)
+	return r.done, nil
+}
+
 // do enqueues a request and waits for its outcome.
 func (s *Server) do(delta graph.Delta, vups []inkstream.VertexUpdate, op func() error) error {
 	r := &updateReq{delta: delta, vups: vups, op: op, done: make(chan error, 1)}
@@ -182,31 +202,48 @@ func (s *Server) journalGroup(group []*updateReq) []*updateReq {
 }
 
 // applyLoop is stage 2: the only goroutine that ever mutates the engine.
-// It applies each request of a group, publishes one snapshot covering the
-// whole group, and only then acknowledges the requests — so a successful
-// response implies the served snapshot already reflects the update
-// (read-your-writes: the paper's "instantaneous" availability).
+// With coalescing on (the default) it merges each group's compatible
+// mutations into fused Engine.Apply calls (coalesce.go), amortising the
+// engine's fixed per-batch costs across everything that queued behind the
+// in-flight update; with coalescing off it applies each request on its
+// own. Either way a snapshot covering a request is published before that
+// request is acknowledged — so a successful response implies the served
+// snapshot already reflects the update (read-your-writes: the paper's
+// "instantaneous" availability).
 func (s *Server) applyLoop() {
 	defer s.wg.Done()
+	f := newFused()
 	for group := range s.applyCh {
-		var mutations uint64
-		for _, r := range group {
-			if r.op != nil {
-				r.err = r.op()
-				continue
+		if !s.coalesce.Load() {
+			s.applySingly(group)
+			continue
+		}
+		s.coalesceGroup(group, f)
+		// Drain every group already journaled behind this one into the
+		// open batch before flushing. The absorb never waits — it only
+		// takes what the journal stage has finished — so it widens the
+		// fusion window exactly when requests are queueing faster than
+		// the engine applies them, and adds nothing to latency when the
+		// pipeline is idle. coalesceGroup's maxGroup bound still flushes
+		// oversized batches mid-absorb.
+	absorb:
+		for {
+			select {
+			case more, ok := <-s.applyCh:
+				if !ok {
+					s.flushFused(f)
+					return
+				}
+				if !s.coalesce.Load() {
+					s.flushFused(f)
+					s.applySingly(more)
+					break absorb
+				}
+				s.coalesceGroup(more, f)
+			default:
+				break absorb
 			}
-			r.err = s.engine.Apply(r.delta, r.vups)
-			if r.err == nil {
-				s.updates.Add(1)
-			}
-			mutations++
 		}
-		if mutations > 0 {
-			s.engine.PublishSnapshot()
-			s.processed.Add(mutations)
-		}
-		for _, r := range group {
-			r.done <- r.err
-		}
+		s.flushFused(f)
 	}
 }

@@ -16,12 +16,16 @@
 // mutations funnel into a single-writer pipeline — requests enqueue onto a
 // channel drained by a journal stage (which makes a whole group of queued
 // batches durable under one fsync, "group commit") feeding an apply stage
-// (the only goroutine that mutates the engine). After each applied group
-// the engine publishes an immutable, epoch-stamped embedding snapshot via
-// an atomic pointer; every read handler resolves against the current
-// snapshot with zero locking and reports the snapshot epoch it observed.
-// A successful mutation response implies the batch is durable, applied,
-// and visible in the published snapshot (read-your-writes).
+// (the only goroutine that mutates the engine). The apply stage coalesces
+// by default (DESIGN.md §9): compatible mutations queued behind the
+// in-flight one merge into a single fused Engine.Apply, and a conflicting
+// request (same edge or same node as the open batch) flushes the batch
+// first, so per-request ack/error semantics are preserved. After each
+// applied batch the engine publishes an immutable, epoch-stamped embedding
+// snapshot via an atomic pointer; every read handler resolves against the
+// current snapshot with zero locking and reports the snapshot epoch it
+// observed. A successful mutation response implies the batch is durable,
+// applied, and visible in the published snapshot (read-your-writes).
 //
 // Observability: every server owns an obs.Observer shared with its engine
 // (per-update latency/size histograms, slow-update traces) and an
@@ -69,6 +73,13 @@ type Server struct {
 	processed atomic.Uint64 // mutation batches reflected in (or rejected
 	// before) the published snapshot; accepted-processed is the lag
 
+	// Server-side coalescing state (coalesce.go): the switch, the graph's
+	// directedness captured for edge canonicalisation, and the counters.
+	coalesce    atomic.Bool
+	undirected  bool
+	coStalls    atomic.Int64 // fused batches flushed early by a conflict
+	coFallbacks atomic.Int64 // fused applies replayed per-request
+
 	// mu guards only the batching scheduler; the read path never takes it.
 	mu      sync.Mutex
 	batcher *scheduler.Scheduler
@@ -77,6 +88,7 @@ type Server struct {
 	reg    *obs.Registry
 	walLat *obs.Histogram
 	gcSize *obs.Histogram
+	coSize *obs.Histogram
 }
 
 // Journal records every applied batch before it reaches the engine
@@ -116,6 +128,9 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	}
 	s.walLat = obs.NewLatencyHistogram()
 	s.gcSize = obs.NewSizeHistogram()
+	s.coSize = obs.NewSizeHistogram()
+	s.undirected = engine.Graph().Undirected
+	s.coalesce.Store(true)
 	s.reg = obs.NewRegistry()
 	s.buildRegistry()
 	// Epoch 1 reflects the bootstrapped state, so readers always have a
@@ -213,6 +228,15 @@ func (s *Server) buildRegistry() {
 	r.Histogram("inkstream_group_commit_batch_size",
 		"Journaled update batches covered by one WAL fsync (group commit).",
 		1, s.gcSize)
+	r.Histogram("inkstream_coalesced_batch_size",
+		"Queued mutation requests fused into one engine apply (server-side coalescing).",
+		1, s.coSize)
+	r.CounterFunc("inkstream_coalesce_stalls_total",
+		"Fused batches flushed early because a queued request conflicted (same edge or same node as the open batch).",
+		func() float64 { return float64(s.coStalls.Load()) })
+	r.CounterFunc("inkstream_coalesce_fallbacks_total",
+		"Fused applies that failed validation and were replayed request-by-request.",
+		func() float64 { return float64(s.coFallbacks.Load()) })
 	r.CounterFunc("inkstream_http_updates_served_total",
 		"Successful mutation requests (/v1/update, /v1/features, flushed /v1/submit).",
 		func() float64 { return float64(s.updates.Load()) })
@@ -263,6 +287,37 @@ func (s *Server) buildRegistry() {
 	r.Histogram("inkstream_wal_append_latency_seconds",
 		"Durability cost per WAL commit: encode, write, flush and fsync (one commit may cover a whole group).",
 		1e-9, s.walLat)
+}
+
+// SetCoalescing switches server-side update coalescing (coalesce.go) on or
+// off. On by default; safe to call at any time (the apply stage reads the
+// switch per group), which lets benchmarks compare the two modes on one
+// server.
+func (s *Server) SetCoalescing(on bool) { s.coalesce.Store(on) }
+
+// CoalesceStats summarises the coalescing activity so far.
+type CoalesceStats struct {
+	// Requests is the number of mutation requests that went through the
+	// coalescing apply stage; Batches the number of Engine.Apply flushes
+	// covering them — Requests/Batches is the achieved fusion factor.
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches"`
+	// Stalls counts fused batches flushed early by a conflicting request;
+	// Fallbacks counts fused applies replayed per-request after a
+	// validation failure.
+	Stalls    int64 `json:"stalls"`
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// CoalesceStats returns the coalescing counters. Safe from any goroutine.
+func (s *Server) CoalesceStats() CoalesceStats {
+	h := s.coSize.Snapshot()
+	return CoalesceStats{
+		Requests:  h.Sum,
+		Batches:   h.Count,
+		Stalls:    s.coStalls.Load(),
+		Fallbacks: s.coFallbacks.Load(),
+	}
 }
 
 // SetJournal installs a write-ahead journal; call before serving. Journals
@@ -516,8 +571,11 @@ type StatsResponse struct {
 	SlowUpdates   int64  `json:"slow_updates"`
 	// Pending is the batching scheduler's queue depth (0 when batching is
 	// disabled); MaxPending its high-water mark.
-	Pending       int              `json:"pending"`
-	MaxPending    int              `json:"max_pending"`
+	Pending    int `json:"pending"`
+	MaxPending int `json:"max_pending"`
+	// Coalesce summarises server-side update coalescing: requests fused,
+	// engine flushes covering them, conflict stalls and replay fallbacks.
+	Coalesce      CoalesceStats    `json:"coalesce"`
 	Conditions    map[string]int64 `json:"conditions"`
 	BytesFetched  int64            `json:"bytes_fetched"`
 	Events        int64            `json:"events_processed"`
@@ -540,6 +598,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if p, a := s.processed.Load(), s.accepted.Load(); a > p {
 		resp.SnapshotLag = a - p
 	}
+	resp.Coalesce = s.CoalesceStats()
 	for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
 		if n := snap.Conditions.Counts[c]; n > 0 {
 			resp.Conditions[c.String()] = n

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Snapshot the PR4 performance numbers into BENCH_pr4.json: the engine
+# Apply benchmarks (sequential vs sharded grouping), and the sustained
+# flash-crowd burst scenario (coalescing on vs off). Run from the repo
+# root; takes a couple of minutes on a small container.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_pr4.json
+benchout=$(mktemp)
+burstout=$(mktemp)
+trap 'rm -f "$benchout" "$burstout"' EXIT
+
+go test -run '^$' -bench 'BenchmarkApply$|BenchmarkApplyShardedGrouping|BenchmarkApplySequentialGrouping' \
+    -benchmem ./internal/inkstream | tee "$benchout"
+
+go run ./cmd/inkbench -quick -datasets YP -burst-updates 2000 burst | tee "$burstout"
+
+# ns/op for one benchmark name (first match; 0 when the benchmark did
+# not run on this machine).
+nsop() {
+    awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }' "$benchout"
+}
+
+speedup=$(awk -F'[x ]+' '/burst-speedup:/ { print $3 }' "$burstout")
+on_upd=$(awk '/burst-speedup:/ { sub(/^.*\(on /,""); sub(/ vs.*$/,""); print }' "$burstout")
+off_upd=$(awk '/burst-speedup:/ { sub(/^.*vs off /,""); sub(/\).*$/,""); print }' "$burstout")
+fused=$(awk '/mean fused/ { sub(/^.*mean fused /,""); sub(/,.*$/,""); print }' "$burstout")
+
+cat > "$out" <<JSON
+{
+  "generated_by": "scripts/bench_snapshot.sh",
+  "host_cpus": $(nproc),
+  "apply_edges_gcn_max_ns_per_op": $(nsop 'BenchmarkApply/edges/gcn-max'),
+  "apply_sharded_grouping_ns_per_op": $(nsop BenchmarkApplyShardedGrouping),
+  "apply_sequential_grouping_ns_per_op": $(nsop BenchmarkApplySequentialGrouping),
+  "burst": {
+    "scenario": "flash crowd, queue depth 8, quick Yelp profile, 2000 updates/mode",
+    "coalescing_on_updates_per_sec": ${on_upd:-0},
+    "coalescing_off_updates_per_sec": ${off_upd:-0},
+    "mean_fused": ${fused:-0},
+    "speedup": ${speedup:-0}
+  }
+}
+JSON
+echo "wrote $out"
+cat "$out"

@@ -17,6 +17,12 @@ go test ./...
 go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
     ./internal/obs ./internal/server ./internal/scheduler ./internal/persist
 
+# The PR4 hot paths deserve fresh (uncached) race runs: the sharded
+# grouper under repeated multi-batch churn and server-side coalescing
+# under concurrent conflicting writers.
+go test -race -count=1 -run 'TestShardedGrouperStress|TestShardedGroupingEquivalence|TestCoalesce' \
+    ./internal/inkstream ./internal/server
+
 # Observability must stay essentially free on the engine hot path.
 scripts/obs_overhead.sh
 
