@@ -12,7 +12,11 @@
 //
 // Every server exposes Prometheus metrics at GET /metrics; -slow-update /
 // -trace-updates log per-layer update traces and -pprof mounts the runtime
-// profiler under /debug/pprof/ (see DESIGN.md §7).
+// profiler under /debug/pprof/ (see DESIGN.md §7). The flight recorder
+// (GET /v1/traces, tune with -trace-ring/-trace-sample), the in-process
+// time-series window (GET /v1/timeseries) and the continuous drift audit
+// (-audit-every, reported by /healthz together with the -slo ack-latency
+// objective) are on by default (DESIGN.md §10).
 //
 // With -save-bundle the bootstrapped engine is persisted before serving,
 // so a later -bundle start skips the initial full-graph inference. See
@@ -76,6 +80,13 @@ func buildServer(args []string) (http.Handler, string, error) {
 		slowUpdate = fs.Duration("slow-update", 0, "log a full per-layer trace for updates slower than this (0 disables)")
 		traceAll   = fs.Bool("trace-updates", false, "log a per-layer trace for every update (verbose)")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		traceRing   = fs.Int("trace-ring", 256, "flight-recorder ring size for GET /v1/traces (0 disables request tracing)")
+		traceSample = fs.Int("trace-sample", 64, "record 1 in N pipeline requests in the flight recorder (slow/failed requests are always recorded)")
+		slo         = fs.Duration("slo", 0, "ack-latency p99 objective: /healthz reports degraded above it (0 disables)")
+		auditEvery  = fs.Uint64("audit-every", 256, "shadow-recompute a drift audit every N applied updates (0 disables)")
+		auditSample = fs.Int("audit-sample", 16, "nodes shadow-recomputed per drift audit")
+		auditTol    = fs.Float64("audit-tol", 0, "max abs drift tolerated by the audit (0 keeps the default 2e-3)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -198,6 +209,21 @@ func buildServer(args []string) (http.Handler, string, error) {
 	if *slowUpdate > 0 || *traceAll {
 		srv.EnableSlowUpdateLog(*slowUpdate, *traceAll, nil)
 		log.Printf("update tracing enabled: slow-update=%v trace-all=%v", *slowUpdate, *traceAll)
+	}
+	if *traceRing != 256 || *traceSample != 64 {
+		srv.SetTraceSampling(*traceRing, *traceSample)
+		if *slowUpdate > 0 {
+			srv.SetSlowTraceThreshold(*slowUpdate)
+		}
+		log.Printf("flight recorder: ring=%d sample=1/%d", *traceRing, *traceSample)
+	}
+	if *slo > 0 {
+		srv.SetHealthSLO(*slo)
+		log.Printf("healthz SLO: ack p99 <= %v", *slo)
+	}
+	if *auditEvery > 0 {
+		srv.EnableDriftAudit(*auditEvery, *auditSample, float32(*auditTol))
+		log.Printf("drift audit: every %d updates, %d nodes sampled", *auditEvery, *auditSample)
 	}
 	handler := srv.Handler()
 	if *pprofOn {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -33,11 +34,77 @@ func watchLoop(w io.Writer, base string, interval time.Duration, samples int) er
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(w, watchLine(prev, cur, interval))
+		fmt.Fprintln(w, watchLine(prev, cur, interval)+sparklines(fetchTimeseries(base)))
 		printed++
 		prev = cur
 	}
 	return nil
+}
+
+// fetchTimeseries pulls the server's in-process time-series window (nil on
+// any error: the watch line just omits the sparklines).
+func fetchTimeseries(base string) *obs.TSSnapshot {
+	resp, err := http.Get(strings.TrimSuffix(base, "/") + "/v1/timeseries")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var ts obs.TSSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil {
+		return nil
+	}
+	return &ts
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last n samples scaled to the window maximum.
+func sparkline(vs []float64, n int) string {
+	if len(vs) > n {
+		vs = vs[len(vs)-n:]
+	}
+	max := 0.0
+	for _, v := range vs {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(vs))
+	for i, v := range vs {
+		k := 0
+		if max > 0 && v > 0 {
+			k = int(v/max*float64(len(sparkRunes)-1) + 0.5)
+			if k >= len(sparkRunes) {
+				k = len(sparkRunes) - 1
+			}
+		}
+		out[i] = sparkRunes[k]
+	}
+	return string(out)
+}
+
+// sparklines appends the headline serving series of a time-series snapshot
+// (update rate, windowed ack p99, measured drift) as compact sparklines.
+func sparklines(ts *obs.TSSnapshot) string {
+	if ts == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, want := range []struct{ name, label string }{
+		{"upd_per_s", "upd"},
+		{"ack_p99_ms", "p99"},
+		{"drift_max_abs", "drift"},
+	} {
+		for _, s := range ts.Series {
+			if s.Name == want.name && len(s.Samples) > 0 {
+				fmt.Fprintf(&b, "  %s⌁%s", want.label, sparkline(s.Samples, 16))
+			}
+		}
+	}
+	return b.String()
 }
 
 func scrapeMetrics(url string) (obs.Samples, error) {

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestShadowMatchesFullInference: a shadow captured from a consistent state
+// (maintained output == from-scratch inference) must recompute exactly the
+// captured rows — zero drift, for every aggregator kind.
+func TestShadowMatchesFullInference(t *testing.T) {
+	for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggMin, gnn.AggMean, gnn.AggSum} {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(4))
+			g := randomGraph(rng, 40, 160)
+			x := tensor.RandMatrix(rng, 40, 5, 1)
+			model := gnn.NewGCN(rng, 5, 8, gnn.NewAggregator(kind))
+			st, err := gnn.Infer(model, g, x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targets := []graph.NodeID{0, 7, 13, 39, 7} // dup on purpose
+			sh, err := CaptureShadow(model, g, x, st.Output(), targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(sh.Targets()); got != 4 {
+				t.Errorf("targets not deduplicated: %d", got)
+			}
+			res := sh.Recompute()
+			if res.MaxAbsDiff != 0 {
+				t.Errorf("%s: drift %g against consistent state, want 0", kind, res.MaxAbsDiff)
+			}
+			if res.Nodes != 4 || res.ClosureNodes < res.Nodes {
+				t.Errorf("bad sizes: %+v", res)
+			}
+			if sh.CaptureBytes() <= 0 {
+				t.Error("capture reported zero bytes")
+			}
+		})
+	}
+}
+
+// TestShadowDetectsCorruption: corrupting a captured target's maintained row
+// must surface as drift at exactly that node.
+func TestShadowDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 30, 100)
+	x := tensor.RandMatrix(rng, 30, 5, 1)
+	model := gnn.NewGCN(rng, 5, 8, gnn.NewAggregator(gnn.AggMax))
+	st, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := st.Output()
+	out.Row(11)[0] += 0.5 // corrupt before capture: the shadow clones it
+	sh, err := CaptureShadow(model, g, x, out, []graph.NodeID{3, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sh.Recompute()
+	if res.MaxAbsDiff < 0.49 {
+		t.Errorf("corruption not detected: drift %g", res.MaxAbsDiff)
+	}
+	if res.WorstNode != 11 {
+		t.Errorf("drift attributed to node %d, want 11", res.WorstNode)
+	}
+}
+
+// TestShadowIsSelfContained: mutating the graph and output after capture
+// must not change the shadow's verdict (the auditor recomputes off the
+// writer while the pipeline keeps applying updates).
+func TestShadowIsSelfContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGraph(rng, 25, 80)
+	x := tensor.RandMatrix(rng, 25, 5, 1)
+	model := gnn.NewGCN(rng, 5, 8, gnn.NewAggregator(gnn.AggMean))
+	st, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := CaptureShadow(model, g, x, st.Output(), []graph.NodeID{2, 9, 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-capture mutations the recompute must not observe.
+	for u := graph.NodeID(0); int(u) < g.NumNodes(); u++ {
+		for v := u + 1; int(v) < g.NumNodes(); v++ {
+			if !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	st.Output().Row(9)[0] += 99
+	x.Row(2)[0] -= 99
+	if res := sh.Recompute(); res.MaxAbsDiff != 0 {
+		t.Errorf("shadow observed post-capture mutations: drift %g", res.MaxAbsDiff)
+	}
+}
+
+func TestShadowRejectsBadTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 10, 20)
+	x := tensor.RandMatrix(rng, 10, 4, 1)
+	model := gnn.NewGCN(rng, 4, 6, gnn.NewAggregator(gnn.AggMax))
+	st, err := gnn.Infer(model, g, x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CaptureShadow(model, g, x, st.Output(), nil); err == nil {
+		t.Error("empty target set accepted")
+	}
+	if _, err := CaptureShadow(model, g, x, st.Output(), []graph.NodeID{99}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+}

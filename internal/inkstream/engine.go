@@ -170,6 +170,13 @@ func (e *Engine) SetObserver(o *obs.Observer) { e.obs = o }
 // Observer returns the installed observer (nil when observability is off).
 func (e *Engine) Observer() *obs.Observer { return e.obs }
 
+// Trace returns the engine-owned per-layer trace of the most recent Apply.
+// With an observer installed the trace is refilled on every Apply, so the
+// returned pointer is only valid until the next one — Clone to retain (the
+// server's flight recorder does exactly that for sampled requests). Writer
+// goroutine only; nil observer means the trace is never filled.
+func (e *Engine) Trace() *obs.Trace { return &e.trace }
+
 func checkNorms(model *gnn.Model) error {
 	for l := range model.Layers {
 		if n := model.Norm(l); n != nil && !n.IsFrozen {
@@ -237,10 +244,20 @@ func (e *Engine) Output() *tensor.Matrix { return e.state.Output() }
 // bit-for-bit; models with any accumulative layer are checked within tol
 // (pass 0 to force the bit-exact comparison).
 func (e *Engine) Verify(tol float32) error {
+	_, err := e.VerifyDiff(tol)
+	return err
+}
+
+// VerifyDiff is Verify with the measurement exposed: it always returns the
+// output-layer max absolute difference between the maintained state and the
+// from-scratch recomputation, alongside the pass/fail error. The serving
+// layer reports the measured diff in the /v1/verify response body.
+func (e *Engine) VerifyDiff(tol float32) (float32, error) {
 	want, err := gnn.Infer(e.model, e.g, e.state.H[0], nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	maxDiff := e.state.Output().MaxAbsDiff(want.Output())
 	exact := true
 	for _, layer := range e.model.Layers {
 		if !layer.Agg().Monotonic() {
@@ -250,16 +267,14 @@ func (e *Engine) Verify(tol float32) error {
 	}
 	if exact || tol <= 0 {
 		if !e.state.Equal(want) {
-			return fmt.Errorf("inkstream: state diverged from recomputation (output max diff %g)",
-				e.state.Output().MaxAbsDiff(want.Output()))
+			return maxDiff, fmt.Errorf("inkstream: state diverged from recomputation (output max diff %g)", maxDiff)
 		}
-		return nil
+		return maxDiff, nil
 	}
 	if !e.state.ApproxEqual(want, tol) {
-		return fmt.Errorf("inkstream: state diverged beyond tol %g (output max diff %g)",
-			tol, e.state.Output().MaxAbsDiff(want.Output()))
+		return maxDiff, fmt.Errorf("inkstream: state diverged beyond tol %g (output max diff %g)", tol, maxDiff)
 	}
-	return nil
+	return maxDiff, nil
 }
 
 // Refresh re-anchors the cache by recomputing the full inference over the

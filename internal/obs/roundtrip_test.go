@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryParserRoundTrip is the exposition contract test: ParseText
+// must parse exactly what Registry.Handler()/WriteText emits — counters,
+// gauges, labeled families, histogram bucket/sum/count series, histogram
+// vecs, and the OpenMetrics trace-ID exemplar annotations the flight
+// recorder attaches — and the parsed values must equal the registered ones.
+func TestRegistryParserRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("rt_requests_total", "Requests.", func() float64 { return 42 })
+	r.GaugeFunc("rt_temperature", "Degrees.", func() float64 { return -3.5 })
+	r.LabeledCounterFunc("rt_visits_total", "Visits.", func() []LabeledValue {
+		return SortedLabeled("kind", map[string]int64{"a": 7, "b": 9})
+	})
+
+	h := NewLatencyHistogram()
+	h.EnableExemplars()
+	h.ObserveDuration(3 * time.Millisecond)
+	h.ObserveDuration(40 * time.Microsecond)
+	h.Exemplar((3 * time.Millisecond).Nanoseconds(), 0x2a)
+	r.Histogram("rt_latency_seconds", "Latency.", 1e-9, h)
+
+	hv := []LabeledHistogram{
+		{Labels: `agg="max"`, H: NewHistogram(1, 1<<20)},
+		{Labels: `agg="sum"`, H: NewHistogram(1, 1<<20)},
+	}
+	hv[0].H.Observe(5)
+	hv[1].H.Observe(1000)
+	r.HistogramVec("rt_drift", "Drift.", 1e-9, hv)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+
+	if v, ok := samples.Get("rt_requests_total"); !ok || v != 42 {
+		t.Errorf("counter: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("rt_temperature"); !ok || v != -3.5 {
+		t.Errorf("gauge: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("rt_visits_total", "kind", "b"); !ok || v != 9 {
+		t.Errorf("labeled counter: got %v ok=%v", v, ok)
+	}
+
+	// Histogram series: count, sum and monotone cumulative buckets ending in
+	// +Inf at the total count.
+	if v, ok := samples.Get("rt_latency_seconds_count"); !ok || v != 2 {
+		t.Errorf("hist count: got %v ok=%v", v, ok)
+	}
+	wantSum := (3*time.Millisecond + 40*time.Microsecond).Seconds()
+	if v, ok := samples.Get("rt_latency_seconds_sum"); !ok || math.Abs(v-wantSum) > 1e-12 {
+		t.Errorf("hist sum: got %v want %v", v, wantSum)
+	}
+	les, cum := samples.Buckets("rt_latency_seconds")
+	if len(les) == 0 || !math.IsInf(les[len(les)-1], 1) {
+		t.Fatalf("buckets must end at +Inf: %v", les)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("buckets not cumulative: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] != 2 {
+		t.Errorf("+Inf bucket %v, want 2", cum[len(cum)-1])
+	}
+
+	// Exactly one bucket carries the exemplar, its trace ID renders as 16
+	// hex digits, and its value is in the exposed unit (seconds).
+	var found int
+	for _, s := range samples.Family("rt_latency_seconds_bucket") {
+		if s.Exemplar == nil {
+			continue
+		}
+		found++
+		if id := s.Exemplar.TraceID(); id != TraceIDString(0x2a) {
+			t.Errorf("exemplar trace_id %q, want %q", id, TraceIDString(0x2a))
+		}
+		if want := 0.003; math.Abs(s.Exemplar.Value-want) > 1e-12 {
+			t.Errorf("exemplar value %v, want %v", s.Exemplar.Value, want)
+		}
+		// The exemplar must sit in the bucket that counted the observation.
+		le, err := parseValue(s.Labels["le"])
+		if err != nil || le < 0.003 {
+			t.Errorf("exemplar on bucket le=%v, below the observation", le)
+		}
+	}
+	if found != 1 {
+		t.Errorf("found %d exemplars, want 1", found)
+	}
+
+	// Histogram vec: both variants share the family and are distinguished by
+	// their label, with per-variant counts.
+	if v, ok := samples.Get("rt_drift_count", "agg", "max"); !ok || v != 1 {
+		t.Errorf("vec count (max): got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("rt_drift_count", "agg", "sum"); !ok || v != 1 {
+		t.Errorf("vec count (sum): got %v ok=%v", v, ok)
+	}
+	for _, s := range samples.Family("rt_drift_bucket") {
+		if s.Labels["agg"] == "" || s.Labels["le"] == "" {
+			t.Fatalf("vec bucket missing labels: %v", s.Labels)
+		}
+	}
+
+	// Unexemplared families must not grow annotations.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "rt_requests_total") && strings.Contains(line, "#") {
+			t.Errorf("counter line carries an exemplar: %q", line)
+		}
+	}
+}
+
+// TestParseExemplarErrors: malformed exemplar annotations must be rejected,
+// not silently dropped.
+func TestParseExemplarErrors(t *testing.T) {
+	for _, line := range []string{
+		`m_bucket{le="1"} 2 # 0.5`,                     // no label set
+		`m_bucket{le="1"} 2 # {trace_id="aa"`,          // unterminated
+		`m_bucket{le="1"} 2 # {trace_id="aa"} x`,       // bad value
+		`m_bucket{le="1"} 2 # {trace_id="aa"} 0.5 0.6`, // two values
+	} {
+		if _, err := ParseText(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// And a well-formed one parses.
+	ss, err := ParseText(strings.NewReader(`m_bucket{le="1"} 2 # {trace_id="00000000000000aa"} 0.5` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss[0].Exemplar == nil || ss[0].Exemplar.Value != 0.5 || ss[0].Exemplar.TraceID() != "00000000000000aa" {
+		t.Errorf("bad exemplar: %+v", ss[0].Exemplar)
+	}
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Ticks are driven manually throughout: the background ticker is exercised
+// only by TestSamplerStartStop, everything else stays deterministic.
+
+func TestSamplerCounterRate(t *testing.T) {
+	s := NewSampler(time.Second, 8)
+	var total atomic.Int64
+	s.Counter("upd_per_s", func() float64 { return float64(total.Load()) })
+
+	s.Tick() // priming tick reports 0
+	total.Store(10)
+	s.Tick() // 10 in 1s
+	total.Store(10)
+	s.Tick()       // quiet second
+	total.Store(5) // counter reset (restart): clamp to 0, not negative
+	s.Tick()
+
+	snap := s.Snapshot()
+	if len(snap.Series) != 1 || snap.Series[0].Name != "upd_per_s" {
+		t.Fatalf("series: %+v", snap.Series)
+	}
+	want := []float64{0, 10, 0, 0}
+	got := snap.Series[0].Samples
+	if len(got) != len(want) {
+		t.Fatalf("samples %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSamplerGaugeAndWindow(t *testing.T) {
+	s := NewSampler(time.Second, 3)
+	v := 0.0
+	s.Gauge("epoch", func() float64 { v++; return v })
+	for i := 0; i < 5; i++ {
+		s.Tick()
+	}
+	snap := s.Snapshot()
+	if snap.Ticks != 5 {
+		t.Errorf("ticks %d", snap.Ticks)
+	}
+	// Window keeps the newest 3, oldest first.
+	want := []float64{3, 4, 5}
+	got := snap.Series[0].Samples
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %v, want %v", got, want)
+			break
+		}
+	}
+	if last, ok := s.Last("epoch"); !ok || last != 5 {
+		t.Errorf("Last = %v ok=%v", last, ok)
+	}
+	if _, ok := s.Last("missing"); ok {
+		t.Error("Last found a missing series")
+	}
+	// MaxRecent over more samples than retained clamps to the window.
+	if m, ok := s.MaxRecent("epoch", 10); !ok || m != 5 {
+		t.Errorf("MaxRecent = %v ok=%v", m, ok)
+	}
+}
+
+func TestSamplerHistQuantileWindowed(t *testing.T) {
+	s := NewSampler(time.Second, 8)
+	h := NewLatencyHistogram()
+	s.HistQuantile("p99_ms", h, 0.99, 1e-6)
+
+	s.Tick() // empty window → 0
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(time.Millisecond)
+	}
+	s.Tick()
+	s.Tick() // no new observations → 0 again
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(16 * time.Millisecond)
+	}
+	s.Tick()
+
+	got := s.Snapshot().Series[0].Samples
+	if got[0] != 0 || got[2] != 0 {
+		t.Errorf("quiet ticks nonzero: %v", got)
+	}
+	// Tick 1 saw only ~1ms observations, tick 3 only ~16ms: the windowed p99
+	// must track each window, not the cumulative mix.
+	if got[1] <= 0 || got[1] > 4 {
+		t.Errorf("tick1 p99 %.3fms, want ~1-2ms", got[1])
+	}
+	if got[3] < 8 {
+		t.Errorf("tick3 p99 %.3fms, want >= 8ms (windowed, not cumulative)", got[3])
+	}
+}
+
+// TestSamplerTickAllocs: steady-state ticks must not allocate (the sampler
+// runs for the process lifetime at 1s resolution).
+func TestSamplerTickAllocs(t *testing.T) {
+	s := NewSampler(time.Second, 16)
+	h := NewLatencyHistogram()
+	var c atomic.Int64
+	s.Counter("c", func() float64 { return float64(c.Load()) })
+	s.Gauge("g", func() float64 { return 1 })
+	s.HistQuantile("q", h, 0.99, 1e-6)
+	s.Tick() // prime counter/quantile scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		h.Observe(1000)
+		s.Tick()
+	})
+	if allocs > 0 {
+		t.Errorf("Tick allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	s := NewSampler(time.Millisecond, 64)
+	s.Gauge("g", func() float64 { return 1 })
+	s.Start()
+	deadline := time.Now().Add(time.Second)
+	for s.Snapshot().Ticks < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	if got := s.Snapshot().Ticks; got < 3 {
+		t.Errorf("background ticker produced %d ticks", got)
+	}
+	// Stop without Start must not hang.
+	s2 := NewSampler(time.Second, 4)
+	done := make(chan struct{})
+	go func() { s2.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hangs")
+	}
+}
+
+// TestSamplerConcurrent: ticks race snapshots and reads under -race.
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(time.Second, 8)
+	var c atomic.Int64
+	s.Counter("c", func() float64 { return float64(c.Load()) })
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			c.Add(1)
+			s.Tick()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			s.Snapshot()
+			s.Last("c")
+			s.MaxRecent("c", 4)
+		}
+	}()
+	wg.Wait()
+}

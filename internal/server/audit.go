@@ -1,0 +1,196 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Continuous drift auditor (DESIGN.md §10). InkStream's accumulative
+// aggregators (sum, mean) reassociate floating-point arithmetic across every
+// incremental batch, so the maintained embeddings drift away from a from-
+// scratch inference over time — the accumulated-error concern the paper's
+// tolerance sweeps quantify offline. The auditor turns it into a live
+// signal: every K applied updates it captures the L-hop dependency cone of a
+// few random nodes on the apply stage (cheap, exclusive — see
+// baseline.CaptureShadow), recomputes them *off* the pipeline, and publishes
+// the measured drift (gauge, per-aggregator histograms) plus a failure
+// counter when drift exceeds the tolerance. It is the sampled, non-exclusive
+// sibling of Engine.Verify: Verify quiesces the writer for a full-graph
+// recompute; the auditor stalls it only for the capture.
+
+// auditState carries the auditor's configuration and published results.
+// Constructed eagerly in New so the /metrics families always exist; the
+// background loop only starts with EnableDriftAudit.
+type auditState struct {
+	every  uint64  // audit every N applied updates (0 = loop disabled)
+	sample int     // nodes captured per audit
+	tol    float32 // max abs drift allowed before the audit fails
+
+	mu  sync.Mutex // serialises audits; guards rng
+	rng *rand.Rand
+
+	audits     atomic.Int64
+	failures   atomic.Int64
+	lastFailed atomic.Bool
+	driftBits  atomic.Uint64 // float64 bits of the most recent audit's drift
+
+	done chan struct{} // closed when the loop exits; nil when never started
+}
+
+// newAuditState seeds the auditor with serving defaults; EnableDriftAudit
+// overrides them and starts the loop.
+func newAuditState() *auditState {
+	return &auditState{
+		sample: 16,
+		tol:    2e-3,
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// driftHistograms builds one drift histogram per distinct aggregator kind in
+// the model. Drift is end-to-end (it accumulates through every layer), so a
+// mixed-aggregator model observes each audit under every kind it uses; the
+// label answers "which aggregation family does this deployment drift like"
+// across a fleet, not "which layer drifted".
+func driftHistograms(m *gnn.Model) []obs.LabeledHistogram {
+	seen := make(map[gnn.AggKind]bool)
+	var out []obs.LabeledHistogram
+	for _, l := range m.Layers {
+		k := l.Agg().Kind()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, obs.LabeledHistogram{
+			Labels: `agg="` + k.String() + `"`,
+			// Nano-units: bucket i covers drift up to ~2^i × 1e-9, spanning
+			// bit-noise (1e-9) through clearly-broken (~1.0).
+			H: obs.NewHistogram(1, 1<<30),
+		})
+	}
+	return out
+}
+
+// lastDrift returns the most recent audit's max abs drift (0 before the
+// first audit) — the inkstream_drift_max_abs gauge and healthz field.
+func (s *Server) lastDrift() float64 {
+	return math.Float64frombits(s.audit.driftBits.Load())
+}
+
+// EnableDriftAudit starts the background auditor: every `every` applied
+// updates it shadow-recomputes `sample` random nodes against the maintained
+// state and fails the audit when their max abs drift exceeds tol (tol <= 0
+// keeps the default 2e-3 — the tolerance the batch-size sweeps accept for
+// accumulative aggregators; monotonic aggregators should measure ~0).
+// Call before serving; the loop stops with Close.
+func (s *Server) EnableDriftAudit(every uint64, sample int, tol float32) {
+	a := s.audit
+	if every == 0 {
+		return
+	}
+	a.every = every
+	if sample > 0 {
+		a.sample = sample
+	}
+	if tol > 0 {
+		a.tol = tol
+	}
+	a.done = make(chan struct{})
+	go s.auditLoop()
+}
+
+// auditLoop polls the applied-update counter and runs one audit each time it
+// advances by the configured stride. Polling (rather than hooking the apply
+// path) keeps the pipeline free of auditor branches; the stride check costs
+// one atomic load per poll.
+func (s *Server) auditLoop() {
+	a := s.audit
+	defer close(a.done)
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	var last uint64
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-tick.C:
+			cur := uint64(s.obs.Updates())
+			if cur < last+a.every {
+				continue
+			}
+			last = cur
+			if _, err := s.AuditNow(a.sample); err != nil && err != ErrServerClosed {
+				log.Printf("%v", err)
+			}
+		}
+	}
+}
+
+// AuditNow runs one drift audit synchronously: capture the dependency cone
+// of `sample` random nodes on the apply stage, recompute off the pipeline,
+// publish the measured drift. Returns the shadow result and a non-nil error
+// when the audit failed (drift over tolerance) or could not run. Safe from
+// any goroutine; concurrent audits serialise.
+func (s *Server) AuditNow(sample int) (baseline.ShadowResult, error) {
+	a := s.audit
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if sample < 1 {
+		sample = 1
+	}
+	n := s.engine.Snapshot().Nodes
+	if n == 0 {
+		return baseline.ShadowResult{}, fmt.Errorf("drift audit: empty graph")
+	}
+	targets := make([]graph.NodeID, sample)
+	for i := range targets {
+		targets[i] = graph.NodeID(a.rng.Intn(n))
+	}
+	// Phase 1: capture on the apply stage (exclusive, cheap — clones the
+	// cone's adjacency and feature/output rows, no inference).
+	var sh *baseline.Shadow
+	err := s.do(nil, nil, func() error {
+		var cerr error
+		sh, cerr = baseline.CaptureShadow(
+			s.engine.Model(), s.engine.Graph(),
+			s.engine.State().H[0], s.engine.Output(), targets)
+		if sh != nil {
+			sh.Epoch = s.engine.Snapshot().Epoch
+		}
+		return cerr
+	})
+	if err != nil {
+		if err != ErrServerClosed {
+			err = fmt.Errorf("drift audit: capture: %w", err)
+		}
+		return baseline.ShadowResult{}, err
+	}
+	// Phase 2: recompute off the pipeline. The capture is self-contained,
+	// so the writer is already serving the next update while this runs.
+	res := sh.Recompute()
+	a.audits.Add(1)
+	a.driftBits.Store(math.Float64bits(float64(res.MaxAbsDiff)))
+	driftNanos := int64(math.Ceil(float64(res.MaxAbsDiff) * 1e9))
+	for i := range s.driftHists {
+		s.driftHists[i].H.Observe(driftNanos)
+	}
+	if res.MaxAbsDiff > a.tol {
+		a.failures.Add(1)
+		a.lastFailed.Store(true)
+		return res, fmt.Errorf(
+			"drift audit: max abs drift %g over tolerance %g at node %d (epoch %d, %d/%d nodes sampled/recomputed)",
+			res.MaxAbsDiff, a.tol, res.WorstNode, sh.Epoch, res.Nodes, res.ClosureNodes)
+	}
+	a.lastFailed.Store(false)
+	return res, nil
+}

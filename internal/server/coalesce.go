@@ -3,6 +3,7 @@ package server
 import (
 	"repro/internal/graph"
 	"repro/internal/inkstream"
+	"repro/internal/obs"
 )
 
 // Server-side adaptive coalescing (DESIGN.md §9). The journal stage already
@@ -97,6 +98,7 @@ func (s *Server) conflicts(f *fused, r *updateReq) bool {
 
 // addFused folds r into the open batch.
 func (s *Server) addFused(f *fused, r *updateReq) {
+	r.mark(obs.StageCoalesce)
 	f.reqs = append(f.reqs, r)
 	f.delta = append(f.delta, r.delta...)
 	f.vups = append(f.vups, r.vups...)
@@ -138,10 +140,19 @@ func (s *Server) flushFused(f *fused) {
 			}
 		}
 	}
+	var eng *obs.Trace
+	for _, r := range f.reqs {
+		r.fused = n
+		r.mark(obs.StageApply)
+		// One engine-trace clone covers the whole fused batch; it is only
+		// taken when some request in it will be recorded.
+		s.attachEngineTrace(r, &eng)
+	}
 	s.engine.PublishSnapshot()
 	s.processed.Add(uint64(n))
 	for _, r := range f.reqs {
-		r.done <- r.err
+		r.mark(obs.StagePublish)
+		s.finish(r, r.err)
 	}
 	f.reset()
 }
@@ -157,8 +168,10 @@ func (s *Server) coalesceGroup(group []*updateReq, f *fused) {
 	for _, r := range group {
 		if r.op != nil {
 			s.flushFused(f)
+			r.mark(obs.StageCoalesce)
 			r.err = r.op()
-			r.done <- r.err
+			r.mark(obs.StageApply)
+			s.finish(r, r.err)
 			continue
 		}
 		if s.conflicts(f, r) {
@@ -185,11 +198,19 @@ func (s *Server) applyCoalesced(group []*updateReq, f *fused) {
 func (s *Server) applySingly(group []*updateReq) {
 	var mutations uint64
 	for _, r := range group {
+		r.mark(obs.StageCoalesce)
 		if r.op != nil {
 			r.err = r.op()
+			r.mark(obs.StageApply)
 			continue
 		}
 		r.err = s.engine.Apply(r.delta, r.vups)
+		r.fused = 1
+		r.mark(obs.StageApply)
+		// Per-request applies mean the engine trace is exact per request;
+		// clone it before the next apply overwrites it.
+		var eng *obs.Trace
+		s.attachEngineTrace(r, &eng)
 		if r.err == nil {
 			s.updates.Add(1)
 		}
@@ -198,8 +219,13 @@ func (s *Server) applySingly(group []*updateReq) {
 	if mutations > 0 {
 		s.engine.PublishSnapshot()
 		s.processed.Add(mutations)
+		for _, r := range group {
+			if r.op == nil {
+				r.mark(obs.StagePublish)
+			}
+		}
 	}
 	for _, r := range group {
-		r.done <- r.err
+		s.finish(r, r.err)
 	}
 }

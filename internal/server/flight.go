@@ -1,0 +1,235 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/obs"
+)
+
+// Flight-recorder wiring (DESIGN.md §10): every request travelling the
+// single-writer pipeline gets a trace ID at submit and a cumulative
+// timestamp at each stage it passes (journal group commit, coalesce pickup,
+// engine apply, snapshot publish, ack). The per-stage marks cost a handful
+// of time.Now calls per request; everything heavier — building the
+// obs.ReqTrace, cloning the engine's per-layer trace, exemplar attachment —
+// happens only for requests that end up *recorded*: sampled (1 in
+// SampleEvery by ID), slower than the slow threshold, or failed.
+
+// newReq builds a pipeline request, stamping its flight-recorder identity
+// when request tracing is enabled.
+func (s *Server) newReq(delta graph.Delta, vups []inkstream.VertexUpdate, op func() error) *updateReq {
+	r := &updateReq{delta: delta, vups: vups, op: op, done: make(chan error, 1)}
+	switch {
+	case op != nil:
+		r.kind = "op"
+	case len(delta) == 0 && len(vups) > 0:
+		r.kind = "features"
+	default:
+		r.kind = "update"
+	}
+	if f := s.flight; f != nil {
+		r.id = f.NextID()
+		r.start = time.Now()
+		r.sampled = f.SampledID(r.id)
+	}
+	return r
+}
+
+// mark timestamps one pipeline stage for the request (no-op when tracing is
+// disabled). Marks are cumulative offsets from submit; each is written by
+// exactly one pipeline goroutine while it owns the request, and the channel
+// handoffs between stages order the writes.
+func (r *updateReq) mark(st obs.Stage) {
+	if r.id != 0 {
+		r.marks[st] = time.Since(r.start)
+	}
+}
+
+// willRecord reports whether r would be recorded if it finished now — the
+// criterion flushFused uses to decide whether the engine trace is worth
+// cloning before the ack resolves the final latency.
+func (s *Server) willRecord(r *updateReq) bool {
+	if r.id == 0 {
+		return false
+	}
+	return r.sampled || r.err != nil || s.flight.IsSlow(time.Since(r.start))
+}
+
+// attachEngineTrace clones the engine's per-layer trace of the apply that
+// just covered r onto the request, and links the apply-latency histogram
+// bucket it landed in to the request's trace ID (exemplar). Must run on the
+// apply goroutine, before the next Engine.Apply invalidates the trace.
+func (s *Server) attachEngineTrace(r *updateReq, eng **obs.Trace) {
+	if !s.willRecord(r) {
+		return
+	}
+	if *eng == nil {
+		*eng = s.engine.Trace().Clone()
+		s.obs.UpdateLatency.Exemplar((*eng).Total.Nanoseconds(), r.id)
+	}
+	r.eng = *eng
+}
+
+// finish is the single acknowledgement point of the pipeline: it stamps the
+// ack mark, observes the submit→ack latency, records the request's flight
+// trace when it qualifies (sampled, slow or failed), and only then delivers
+// the outcome to the waiting caller. Every done-channel send in the
+// pipeline goes through here.
+func (s *Server) finish(r *updateReq, err error) {
+	if f := s.flight; f != nil && r.id != 0 {
+		total := time.Since(r.start)
+		r.marks[obs.StageAck] = total
+		s.ackLat.Observe(total.Nanoseconds())
+		slow := f.IsSlow(total)
+		if r.sampled || slow || err != nil {
+			s.ackLat.Exemplar(total.Nanoseconds(), r.id)
+			t := &obs.ReqTrace{
+				ID:      r.id,
+				Kind:    r.kind,
+				Start:   r.start,
+				Edges:   len(r.delta),
+				VUps:    len(r.vups),
+				Fused:   r.fused,
+				Marks:   r.marks,
+				Total:   total,
+				Sampled: r.sampled,
+				Slow:    slow,
+				Engine:  r.eng,
+			}
+			if err != nil {
+				t.Err = err.Error()
+			}
+			f.Record(t)
+		}
+	}
+	r.done <- err
+}
+
+// SetTraceSampling reconfigures the flight recorder before serving: ring is
+// the number of retained traces, every the sampling divisor (record 1 in
+// `every` requests by ID; 0 records only slow/failed requests). ring 0
+// disables request tracing entirely — no IDs, no stage timestamps — the
+// off-path the observability overhead gate benchmarks against.
+func (s *Server) SetTraceSampling(ring, every int) {
+	if ring <= 0 {
+		s.flight = nil
+		return
+	}
+	f := obs.NewFlightRecorder(ring, every)
+	if s.flight != nil {
+		f.SetSlowThreshold(s.flight.SlowThreshold())
+	}
+	s.flight = f
+}
+
+// SetSlowTraceThreshold marks requests at or above d as slow: always
+// recorded, engine trace attached. Safe at any time; no-op when tracing is
+// disabled.
+func (s *Server) SetSlowTraceThreshold(d time.Duration) {
+	if s.flight != nil {
+		s.flight.SetSlowThreshold(d)
+	}
+}
+
+// FlightRecorder exposes the recorder (nil when tracing is disabled).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// Sampler exposes the in-process time-series sampler; tests drive its Tick
+// deterministically instead of waiting out the 1s background cadence.
+func (s *Server) Sampler() *obs.Sampler { return s.sampler }
+
+// TracesResponse is the body of GET /v1/traces.
+type TracesResponse struct {
+	// SampleEvery is the sampling divisor (0 = only slow/failed requests);
+	// SlowThresholdMS the slow criterion (0 = disabled); Recorded the total
+	// number of traces recorded since start (the ring keeps the newest).
+	SampleEvery     int     `json:"sample_every"`
+	SlowThresholdMS float64 `json:"slow_threshold_ms,omitempty"`
+	Recorded        int64   `json:"recorded"`
+	// Traces are the retained request traces, newest first.
+	Traces []*obs.ReqTrace `json:"traces"`
+}
+
+// handleTraces serves the flight-recorder ring, newest first. Query
+// parameters: n caps the number of traces returned; min_us drops traces
+// faster than the given total latency (in microseconds) — "show me the slow
+// ones".
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	f := s.flight
+	if f == nil {
+		httpError(w, http.StatusNotImplemented, "request tracing disabled")
+		return
+	}
+	traces := f.Traces()
+	if v := r.URL.Query().Get("min_us"); v != "" {
+		minUS, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad min_us %q", v)
+			return
+		}
+		kept := traces[:0]
+		for _, t := range traces {
+			if float64(t.Total.Nanoseconds())/1e3 >= minUS {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+	}
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		if n < len(traces) {
+			traces = traces[:n]
+		}
+	}
+	if traces == nil {
+		traces = []*obs.ReqTrace{}
+	}
+	writeJSON(w, TracesResponse{
+		SampleEvery:     f.SampleEvery(),
+		SlowThresholdMS: float64(f.SlowThreshold()) / 1e6,
+		Recorded:        f.Recorded(),
+		Traces:          traces,
+	})
+}
+
+// handleTimeseries serves the in-process time-series window (oldest sample
+// first) — the last ~10 minutes of serving behaviour without a scraping
+// stack.
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	if s.sampler == nil {
+		httpError(w, http.StatusNotImplemented, "time-series sampling disabled")
+		return
+	}
+	writeJSON(w, s.sampler.Snapshot())
+}
+
+// buildTimeseries registers the serving series the sampler tracks. Counters
+// render as per-second rates, latency quantiles are windowed per tick; every
+// source reads atomics or the published snapshot, so a tick never touches
+// mutable engine state.
+func (s *Server) buildTimeseries() {
+	ts := s.sampler
+	ts.Counter("upd_per_s", func() float64 { return float64(s.obs.Updates()) })
+	ts.Counter("reads_per_s", func() float64 { return float64(s.reads.Load()) })
+	ts.Counter("events_per_s", func() float64 { return float64(s.obs.Events.Sum()) })
+	ts.HistQuantile("ack_p99_ms", s.ackLat, 0.99, 1e-6)
+	ts.HistQuantile("apply_p99_ms", s.obs.UpdateLatency, 0.99, 1e-6)
+	ts.Gauge("epoch", func() float64 { return float64(s.engine.Snapshot().Epoch) })
+	ts.Gauge("lag_batches", func() float64 {
+		p := s.processed.Load()
+		a := s.accepted.Load()
+		if a < p {
+			return 0
+		}
+		return float64(a - p)
+	})
+	ts.Gauge("drift_max_abs", s.lastDrift)
+}

@@ -1,0 +1,423 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// TestFlightRecorderTraces: with 1-in-1 sampling every request lands in the
+// ring with ordered stage marks, the fused count, and GET /v1/traces serves
+// them newest first with working filters.
+func TestFlightRecorderTraces(t *testing.T) {
+	srv, eng := newObsServer(t)
+	srv.SetTraceSampling(64, 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	edges := absentEdges(t, eng.Graph(), 6)
+	for _, e := range edges {
+		if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := srv.FlightRecorder()
+	if f.Recorded() < int64(len(edges)) {
+		t.Fatalf("recorded %d traces, want >= %d", f.Recorded(), len(edges))
+	}
+	for _, tr := range f.Traces() {
+		if tr.Kind != "update" || tr.Edges != 1 || tr.Fused < 1 {
+			t.Errorf("trace %+v", tr)
+		}
+		// Cumulative marks must be monotone across reached stages and end at
+		// the ack (no journal configured, so the journal mark stays 0).
+		if tr.Marks[obs.StageJournal] != 0 {
+			t.Errorf("journal mark %v without a journal", tr.Marks[obs.StageJournal])
+		}
+		prev := time.Duration(0)
+		for st := obs.StageCoalesce; st < obs.StageCount; st++ {
+			m := tr.Marks[st]
+			if m == 0 {
+				t.Fatalf("stage %v unreached in %s", st, tr)
+			}
+			if m < prev {
+				t.Fatalf("marks not monotone in %s", tr)
+			}
+			prev = m
+		}
+		if tr.Marks[obs.StageAck] != tr.Total {
+			t.Fatalf("ack mark %v != total %v in %s", tr.Marks[obs.StageAck], tr.Total, tr)
+		}
+		if tr.Engine == nil {
+			t.Errorf("sampled trace missing engine trace: %s", tr)
+		}
+	}
+
+	// Endpoint: newest first, n and min_us filters, exemplar-joinable IDs.
+	resp, err := http.Get(ts.URL + "/v1/traces?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body TracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.SampleEvery != 1 || body.Recorded < int64(len(edges)) || len(body.Traces) != 3 {
+		t.Fatalf("traces response: every=%d recorded=%d n=%d", body.SampleEvery, body.Recorded, len(body.Traces))
+	}
+	if body.Traces[0].ID < body.Traces[1].ID {
+		t.Error("traces not newest first")
+	}
+	resp2, err := http.Get(ts.URL + "/v1/traces?min_us=10000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var none TracesResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&none); err != nil {
+		t.Fatal(err)
+	}
+	if len(none.Traces) != 0 {
+		t.Errorf("min_us filter kept %d traces", len(none.Traces))
+	}
+
+	// The ack-latency histogram carries a trace-ID exemplar joinable against
+	// the ring.
+	samples := scrape(t, ts.URL)
+	found := false
+	for _, s := range samples.Family("inkstream_ack_latency_seconds_bucket") {
+		if s.Exemplar != nil && s.Exemplar.TraceID() != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no trace-ID exemplar on inkstream_ack_latency_seconds")
+	}
+}
+
+// TestFlightRecorderErrorAlwaysRecorded: failed requests are recorded even
+// when they fall outside the sample.
+func TestFlightRecorderErrorAlwaysRecorded(t *testing.T) {
+	srv, _ := newObsServer(t)
+	srv.SetTraceSampling(16, 0) // sampling off: only slow/failed record
+	if err := srv.Apply(graph.Delta{{U: 0, V: 0, Insert: true}}, nil); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	traces := srv.FlightRecorder().Traces()
+	if len(traces) != 1 || traces[0].Err == "" {
+		t.Fatalf("failed request not recorded: %v", traces)
+	}
+}
+
+// TestTimeseriesEndpoint: after updates and a manual tick, /v1/timeseries
+// serves the registered series with a nonzero update rate.
+func TestTimeseriesEndpoint(t *testing.T) {
+	srv, eng := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.Sampler().Tick() // prime counters
+	for _, e := range absentEdges(t, eng.Graph(), 4) {
+		if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Sampler().Tick()
+
+	resp, err := http.Get(ts.URL + "/v1/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.TSSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.IntervalMS != 1000 || snap.Ticks < 2 {
+		t.Fatalf("snapshot meta: %+v", snap)
+	}
+	got := map[string][]float64{}
+	for _, s := range snap.Series {
+		got[s.Name] = s.Samples
+	}
+	for _, name := range []string{"upd_per_s", "reads_per_s", "events_per_s", "ack_p99_ms", "apply_p99_ms", "epoch", "lag_batches", "drift_max_abs"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("series %q missing (have %v)", name, snap.Series)
+		}
+	}
+	// The ticks between priming and the read saw 4 updates; the background
+	// ticker may split them across samples, so assert on the window total.
+	var updSum, ackMax float64
+	for _, v := range got["upd_per_s"] {
+		updSum += v
+	}
+	for _, v := range got["ack_p99_ms"] {
+		if v > ackMax {
+			ackMax = v
+		}
+	}
+	if updSum < 4 {
+		t.Errorf("upd_per_s %v sums to %v, want >= 4", got["upd_per_s"], updSum)
+	}
+	if ackMax <= 0 {
+		t.Errorf("ack_p99_ms %v never nonzero", got["ack_p99_ms"])
+	}
+	if ep := got["epoch"]; ep[len(ep)-1] < 5 {
+		t.Errorf("epoch %v, want >= 5 after 4 updates", ep)
+	}
+}
+
+// TestHealthzDegraded: /healthz (and /v1/healthz) report ok with uptime and
+// epoch; breaching the ack SLO or failing the drift audit flips the status
+// to degraded with reasons, while the HTTP status stays 200.
+func TestHealthzDegraded(t *testing.T) {
+	srv, eng := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	gethealth := func(path string) (int, HealthzResponse) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	for _, path := range []string{"/healthz", "/v1/healthz"} {
+		code, h := gethealth(path)
+		if code != http.StatusOK || h.Status != "ok" {
+			t.Fatalf("%s: %d %+v", path, code, h)
+		}
+		if h.Epoch == 0 || h.UptimeSeconds < 0 {
+			t.Errorf("%s missing uptime/epoch: %+v", path, h)
+		}
+	}
+
+	// Breach the SLO: apply an update (so the latency window is nonzero),
+	// tick, and set an absurdly low objective.
+	e := absentEdges(t, eng.Graph(), 1)[0]
+	if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv.Sampler().Tick()
+	srv.SetHealthSLO(time.Nanosecond)
+	code, h := gethealth("/healthz")
+	if code != http.StatusOK || h.Status != "degraded" || len(h.Reasons) == 0 {
+		t.Fatalf("SLO breach not degraded: %d %+v", code, h)
+	}
+	srv.SetHealthSLO(0)
+
+	// Fail the drift audit: corrupt every output row, audit, check status.
+	out := eng.Output()
+	for i := 0; i < out.Rows; i++ {
+		out.Row(i)[0] += 1.0
+	}
+	if _, err := srv.AuditNow(4); err == nil {
+		t.Fatal("audit passed on corrupted state")
+	}
+	_, h = gethealth("/healthz")
+	if h.Status != "degraded" || h.DriftMaxAbs < 0.5 || h.AuditFailures < 1 {
+		t.Fatalf("audit failure not reported: %+v", h)
+	}
+}
+
+// TestDriftAuditCorruption: audits pass on a consistent engine and publish
+// drift metrics; deliberate corruption fires audit_failures_total and the
+// per-aggregator drift histogram moves.
+func TestDriftAuditCorruption(t *testing.T) {
+	srv, eng := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// A healthy monotonic-aggregator engine audits clean.
+	res, err := srv.AuditNow(8)
+	if err != nil {
+		t.Fatalf("audit on healthy engine: %v", err)
+	}
+	if res.MaxAbsDiff != 0 || res.Nodes != 8 {
+		t.Errorf("healthy audit: %+v", res)
+	}
+	samples := scrape(t, ts.URL)
+	if v, _ := samples.Get("inkstream_drift_audits_total"); v != 1 {
+		t.Errorf("audits_total %v", v)
+	}
+	if v, _ := samples.Get("inkstream_drift_audit_failures_total"); v != 0 {
+		t.Errorf("failures_total %v before corruption", v)
+	}
+	if v, ok := samples.Get("inkstream_drift_abs_count", "agg", "max"); !ok || v != 1 {
+		t.Errorf("drift histogram (agg=max) count %v ok=%v", v, ok)
+	}
+
+	// Corrupt the maintained output; the audit must fail and say so.
+	out := eng.Output()
+	for i := 0; i < out.Rows; i++ {
+		out.Row(i)[0] += 0.25
+	}
+	if _, err := srv.AuditNow(8); err == nil {
+		t.Fatal("audit passed on corrupted engine")
+	}
+	samples = scrape(t, ts.URL)
+	if v, _ := samples.Get("inkstream_drift_audit_failures_total"); v != 1 {
+		t.Errorf("failures_total %v after corruption", v)
+	}
+	if v, _ := samples.Get("inkstream_drift_max_abs"); v < 0.2 {
+		t.Errorf("drift_max_abs gauge %v after corruption", v)
+	}
+}
+
+// TestDriftBoundedOverStream is the acceptance check for the auditor: after
+// >= 10k incremental updates, sampled drift stays within the tolerance.
+func TestDriftBoundedOverStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long stream")
+	}
+	srv, eng := newObsServer(t)
+	edges := absentEdges(t, eng.Graph(), 50)
+	updates := 0
+	for updates < 10000 {
+		for _, e := range edges {
+			if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: false}}, nil); err != nil {
+				t.Fatal(err)
+			}
+			updates += 2
+		}
+		if _, err := srv.AuditNow(8); err != nil {
+			t.Fatalf("drift audit failed after %d updates: %v", updates, err)
+		}
+	}
+	if res, err := srv.AuditNow(16); err != nil {
+		t.Fatalf("final audit: %v", err)
+	} else if res.MaxAbsDiff > 2e-3 {
+		t.Errorf("drift %g after %d updates", res.MaxAbsDiff, updates)
+	}
+}
+
+// TestFlightConcurrentStress hammers the pipeline, the trace ring, the
+// sampler and every new read endpoint at once — the -race proof for the
+// flight recorder's lock-light claims.
+func TestFlightConcurrentStress(t *testing.T) {
+	srv, eng := newObsServer(t)
+	srv.SetTraceSampling(64, 2)
+	srv.SetSlowTraceThreshold(time.Millisecond)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	edges := absentEdges(t, eng.Graph(), 32)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: concurrent insert/delete toggles through the pipeline, plus a
+	// sampler ticker racing the endpoint reads.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 150; i++ {
+				e := edges[(w*8+i)%len(edges)]
+				srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: i%2 == 0}}, nil)
+			}
+		}(w)
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 200; i++ {
+			srv.Sampler().Tick()
+		}
+	}()
+
+	// Readers: trace ring, time-series, healthz, metrics, embeddings.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				srv.FlightRecorder().Traces()
+				srv.Sampler().Snapshot()
+				srv.ReadEmbedding(1)
+				for _, path := range []string{"/v1/traces", "/v1/timeseries", "/healthz"} {
+					resp, err := http.Get(ts.URL + path)
+					if err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	if srv.FlightRecorder().Recorded() == 0 {
+		t.Error("stress run recorded no traces")
+	}
+}
+
+// BenchmarkPipelineFlightRecorder measures the flight-recorder tax on the
+// full submit→ack pipeline: the same alternating insert/delete workload with
+// request tracing disabled entirely (ring 0 — no IDs, no stage timestamps)
+// vs the serving default (ring 256, 1-in-64 sampling plus slow/failed
+// capture). scripts/obs_overhead.sh gates the paired delta at <5%.
+func BenchmarkPipelineFlightRecorder(b *testing.B) {
+	const n = 2048
+	for _, cfg := range []struct {
+		name        string
+		ring, every int
+	}{
+		{"off", 0, 0},
+		{"on", 256, 64},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, eng := newPipelineServer(b, 23, n, 4*n)
+			s.SetTraceSampling(cfg.ring, cfg.every)
+			g := eng.Graph()
+			rng := rand.New(rand.NewSource(24))
+			seen := map[[2]graph.NodeID]bool{}
+			var ins, del graph.Delta
+			for len(ins) < 16 {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				if u == v || g.HasEdge(u, v) || seen[[2]graph.NodeID{u, v}] || seen[[2]graph.NodeID{v, u}] {
+					continue
+				}
+				seen[[2]graph.NodeID{u, v}] = true
+				ins = append(ins, graph.EdgeChange{U: u, V: v, Insert: true})
+				del = append(del, graph.EdgeChange{U: u, V: v, Insert: false})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ins
+				if i%2 == 1 {
+					d = del
+				}
+				if err := s.Apply(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

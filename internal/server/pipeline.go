@@ -3,9 +3,11 @@ package server
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/inkstream"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -28,6 +30,17 @@ type updateReq struct {
 	op    func() error
 	err   error
 	done  chan error
+
+	// Flight-recorder state (flight.go): id 0 means tracing is disabled for
+	// this request. Marks are cumulative offsets from start, each written by
+	// the one pipeline goroutine owning the request at that stage.
+	id      uint64
+	start   time.Time
+	kind    string
+	sampled bool
+	fused   int
+	marks   [obs.StageCount]time.Duration
+	eng     *obs.Trace
 }
 
 // Apply submits one update batch into the single-writer pipeline and waits
@@ -49,7 +62,7 @@ func (s *Server) Apply(delta graph.Delta, vups []inkstream.VertexUpdate) error {
 // not control the server's lifetime should select against their own
 // shutdown signal rather than wait unconditionally.
 func (s *Server) ApplyAsync(delta graph.Delta, vups []inkstream.VertexUpdate) (<-chan error, error) {
-	r := &updateReq{delta: delta, vups: vups, done: make(chan error, 1)}
+	r := s.newReq(delta, vups, nil)
 	select {
 	case <-s.quit:
 		return nil, ErrServerClosed
@@ -61,7 +74,7 @@ func (s *Server) ApplyAsync(delta graph.Delta, vups []inkstream.VertexUpdate) (<
 
 // do enqueues a request and waits for its outcome.
 func (s *Server) do(delta graph.Delta, vups []inkstream.VertexUpdate, op func() error) error {
-	r := &updateReq{delta: delta, vups: vups, op: op, done: make(chan error, 1)}
+	r := s.newReq(delta, vups, op)
 	select {
 	case <-s.quit:
 		return ErrServerClosed
@@ -102,7 +115,15 @@ func (s *Server) Snapshot() *inkstream.Snapshot { return s.engine.Snapshot() }
 // anything already journaled remains durable and is recovered by WAL
 // replay. Reads keep working against the last published snapshot.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.quit) })
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		if s.audit.done != nil {
+			<-s.audit.done
+		}
+		if s.sampler != nil {
+			s.sampler.Stop()
+		}
+	})
 	s.wg.Wait()
 }
 
@@ -148,7 +169,7 @@ func (s *Server) journalLoop() {
 		case s.applyCh <- group:
 		case <-s.quit:
 			for _, r := range group {
-				r.done <- ErrServerClosed
+				s.finish(r, ErrServerClosed)
 			}
 			return
 		}
@@ -187,6 +208,13 @@ func (s *Server) journalGroup(group []*updateReq) []*updateReq {
 		s.gcSize.Observe(int64(journaled))
 	}
 	if jerr == nil {
+		// The group commit covering each journaled request just returned:
+		// its durability point.
+		for _, r := range group {
+			if r.op == nil {
+				r.mark(obs.StageJournal)
+			}
+		}
 		return group
 	}
 	out := group[:0]
@@ -196,7 +224,7 @@ func (s *Server) journalGroup(group []*updateReq) []*updateReq {
 			continue
 		}
 		s.processed.Add(1)
-		r.done <- fmt.Errorf("journal: %w", jerr)
+		s.finish(r, fmt.Errorf("journal: %w", jerr))
 	}
 	return out
 }

@@ -9,8 +9,10 @@
 //	POST /v1/features   {"updates":[{"node":1,"x":[…]}, …]}
 //	GET  /v1/embedding?node=N
 //	GET  /v1/stats
-//	GET  /v1/healthz
-//	GET  /metrics       (Prometheus text exposition)
+//	GET  /v1/healthz    (also /healthz; degraded detection, uptime, epoch)
+//	GET  /v1/traces     (flight recorder: last N request-scoped pipeline traces)
+//	GET  /v1/timeseries (in-process time-series window, ~1s × 10min)
+//	GET  /metrics       (Prometheus text exposition, with trace-ID exemplars)
 //
 // Concurrency model (DESIGN.md §8): reads never block on writes. All
 // mutations funnel into a single-writer pipeline — requests enqueue onto a
@@ -89,6 +91,19 @@ type Server struct {
 	walLat *obs.Histogram
 	gcSize *obs.Histogram
 	coSize *obs.Histogram
+
+	// Flight recorder (flight.go): request-scoped pipeline traces, the
+	// submit→ack latency histogram they exemplify, and the in-process
+	// time-series sampler behind /v1/timeseries.
+	flight  *obs.FlightRecorder
+	ackLat  *obs.Histogram
+	sampler *obs.Sampler
+	started time.Time
+	sloNS   atomic.Int64 // healthz ack-p99 SLO in ns (0 = disabled)
+
+	// Drift auditor (audit.go).
+	audit      *auditState
+	driftHists []obs.LabeledHistogram
 }
 
 // Journal records every applied batch before it reaches the engine
@@ -131,6 +146,15 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	s.coSize = obs.NewSizeHistogram()
 	s.undirected = engine.Graph().Undirected
 	s.coalesce.Store(true)
+	s.started = time.Now()
+	// Flight recorder defaults: last 256 interesting requests, 1 in 64
+	// sampled. Reconfigure with SetTraceSampling before serving.
+	s.flight = obs.NewFlightRecorder(256, 64)
+	s.ackLat = obs.NewLatencyHistogram()
+	s.ackLat.EnableExemplars()
+	s.obs.UpdateLatency.EnableExemplars()
+	s.audit = newAuditState()
+	s.driftHists = driftHistograms(engine.Model())
 	s.reg = obs.NewRegistry()
 	s.buildRegistry()
 	// Epoch 1 reflects the bootstrapped state, so readers always have a
@@ -139,6 +163,10 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	s.submitCh = make(chan *updateReq, 4*maxGroup)
 	s.applyCh = make(chan []*updateReq, 1)
 	s.quit = make(chan struct{})
+	// In-process time-series: 1s resolution, 10-minute window.
+	s.sampler = obs.NewSampler(time.Second, 600)
+	s.buildTimeseries()
+	s.sampler.Start()
 	s.start()
 	return s
 }
@@ -160,6 +188,7 @@ func (s *Server) EnableSlowUpdateLog(threshold time.Duration, traceAll bool, log
 	}
 	s.obs.SlowThreshold = threshold
 	s.obs.TraceAll = traceAll
+	s.SetSlowTraceThreshold(threshold)
 	s.obs.OnTrace = func(t *obs.Trace) {
 		if threshold > 0 && t.Total >= threshold {
 			logger.Printf("slow update (>= %v): %s", threshold, t)
@@ -287,6 +316,29 @@ func (s *Server) buildRegistry() {
 	r.Histogram("inkstream_wal_append_latency_seconds",
 		"Durability cost per WAL commit: encode, write, flush and fsync (one commit may cover a whole group).",
 		1e-9, s.walLat)
+	r.Histogram("inkstream_ack_latency_seconds",
+		"Submit-to-ack latency of one pipeline request (queueing + journal + coalesce + apply + publish); buckets carry trace-ID exemplars resolvable at /v1/traces.",
+		1e-9, s.ackLat)
+	r.CounterFunc("inkstream_traces_recorded_total",
+		"Request traces recorded by the flight recorder (sampled, slow or failed requests).",
+		func() float64 {
+			if s.flight == nil {
+				return 0
+			}
+			return float64(s.flight.Recorded())
+		})
+	r.CounterFunc("inkstream_drift_audits_total",
+		"Shadow-recompute drift audits completed.",
+		func() float64 { return float64(s.audit.audits.Load()) })
+	r.CounterFunc("inkstream_drift_audit_failures_total",
+		"Drift audits whose max abs drift exceeded the tolerance.",
+		func() float64 { return float64(s.audit.failures.Load()) })
+	r.GaugeFunc("inkstream_drift_max_abs",
+		"Max abs difference between maintained and shadow-recomputed embeddings in the most recent drift audit.",
+		s.lastDrift)
+	r.HistogramVec("inkstream_drift_abs",
+		"Per-audit max abs drift, labeled by the model's aggregator kind (accumulative kinds drift; monotonic kinds should sit in the lowest bucket).",
+		1e-9, s.driftHists)
 }
 
 // SetCoalescing switches server-side update coalescing (coalesce.go) on or
@@ -373,6 +425,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/embedding", s.handleEmbedding)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -407,23 +462,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, SubmitResponse{Flushed: flushed, Pending: pending})
 }
 
+// VerifyResponse is the body of POST /v1/verify (both outcomes).
+type VerifyResponse struct {
+	// Status is "verified" or "failed"; Error the failure detail.
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// MaxAbsDiff is the measured max abs difference between the maintained
+	// embeddings and the from-scratch recompute — reported even on success,
+	// so operators see how close to the tolerance the state is drifting.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+	// ElapsedMS is the recompute+compare time on the apply stage; LatencyMS
+	// the full request latency including the wait to quiesce the pipeline.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
 // handleVerify recomputes the full inference and compares it against the
-// maintained state (Engine.Verify) — an operational self-check. It runs as
-// an exclusive operation on the apply stage, so it never races an update.
-// It is a POST because it is expensive.
+// maintained state (Engine.VerifyDiff) — an operational self-check, and the
+// exhaustive sibling of the sampled drift auditor. It runs as an exclusive
+// operation on the apply stage (the pipeline is quiesced for the whole
+// recompute), so it never races an update; use the drift auditor for a
+// continuous check that does not stall serving. It is a POST because it is
+// expensive.
 func (s *Server) handleVerify(w http.ResponseWriter, _ *http.Request) {
+	var diff float32
+	var elapsed time.Duration
 	t0 := time.Now()
-	err := s.do(nil, nil, func() error { return s.engine.Verify(2e-3) })
+	err := s.do(nil, nil, func() error {
+		v0 := time.Now()
+		var verr error
+		diff, verr = s.engine.VerifyDiff(2e-3)
+		elapsed = time.Since(v0)
+		return verr
+	})
 	lat := time.Since(t0)
 	if err == ErrServerClosed {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
+	resp := VerifyResponse{
+		Status:     "verified",
+		MaxAbsDiff: float64(diff),
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		LatencyMS:  float64(lat.Microseconds()) / 1000,
+	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "verification failed: %v", err)
+		resp.Status = "failed"
+		resp.Error = fmt.Sprintf("verification failed: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(resp)
 		return
 	}
-	writeJSON(w, map[string]any{"status": "verified", "latency_ms": float64(lat.Microseconds()) / 1000})
+	writeJSON(w, resp)
 }
 
 // EdgeChangeJSON is one edge modification in the wire format.
@@ -627,8 +718,60 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
+// SetHealthSLO sets the ack-latency p99 objective the health check enforces:
+// when the windowed p99 (max over the last ~10 time-series ticks) exceeds
+// slo, /healthz reports degraded. 0 disables the criterion (the default).
+func (s *Server) SetHealthSLO(slo time.Duration) { s.sloNS.Store(slo.Nanoseconds()) }
+
+// HealthzResponse is the body of GET /healthz (and /v1/healthz).
+type HealthzResponse struct {
+	// Status is "ok" or "degraded". The response is always HTTP 200 —
+	// degraded means "serving but out of spec" (drift audit failing, ack
+	// p99 over SLO), which is an alerting condition, not an unreachability
+	// one; Reasons lists what degraded it.
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Epoch         uint64   `json:"epoch"`
+	AckP99MS      float64  `json:"ack_p99_ms"`
+	SLOMS         float64  `json:"slo_ms,omitempty"`
+	DriftMaxAbs   float64  `json:"drift_max_abs"`
+	AuditFailures int64    `json:"audit_failures"`
+	Reasons       []string `json:"reasons,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	resp := HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Epoch:         s.engine.Snapshot().Epoch,
+		DriftMaxAbs:   s.lastDrift(),
+		AuditFailures: s.audit.failures.Load(),
+	}
+	var reasons []string
+	if s.sampler != nil {
+		// Max over the last ~10 ticks so one quiet second cannot mask a
+		// breached SLO between scrapes.
+		if v, ok := s.sampler.MaxRecent("ack_p99_ms", 10); ok {
+			resp.AckP99MS = v
+		}
+	}
+	if slo := time.Duration(s.sloNS.Load()); slo > 0 {
+		resp.SLOMS = float64(slo) / 1e6
+		if resp.AckP99MS > resp.SLOMS {
+			reasons = append(reasons, fmt.Sprintf(
+				"ack p99 %.3fms over SLO %.3fms", resp.AckP99MS, resp.SLOMS))
+		}
+	}
+	if s.audit.lastFailed.Load() {
+		reasons = append(reasons, fmt.Sprintf(
+			"drift audit failing: max abs drift %g over tolerance %g",
+			resp.DriftMaxAbs, s.audit.tol))
+	}
+	if len(reasons) > 0 {
+		resp.Status = "degraded"
+		resp.Reasons = reasons
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

