@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +47,7 @@ func run(args []string) error {
 		mixedUpds = fs.Int("mixed-updates", 200, "update batches streamed by the mixed workload")
 		burstDep  = fs.Int("burst-depth", 8, "updates kept in flight (pipeline queue depth) in the burst scenario (experiment: burst)")
 		burstUpds = fs.Int("burst-updates", 2000, "total single-change updates per coalescing mode in the burst scenario")
+		shardCnts = fs.String("shard-counts", "1,2,4,8", "comma-separated deployment sizes for the shard-scaling scenario (experiment: shards)")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
 		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -86,6 +88,16 @@ func run(args []string) error {
 	cfg.MixedUpdates = *mixedUpds
 	cfg.BurstDepth = *burstDep
 	cfg.BurstUpdates = *burstUpds
+	if *shardCnts != "" {
+		cfg.ShardCounts = nil
+		for _, f := range strings.Split(*shardCnts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("-shard-counts: bad shard count %q", f)
+			}
+			cfg.ShardCounts = append(cfg.ShardCounts, n)
+		}
+	}
 	if *datasets != "" {
 		cfg.Datasets = nil
 		for _, name := range strings.Split(*datasets, ",") {

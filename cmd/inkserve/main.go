@@ -41,6 +41,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/scheduler"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -74,6 +75,7 @@ func buildServer(args []string) (http.Handler, string, error) {
 		modelName  = fs.String("model", "gcn", "model: gcn, sage or gin")
 		aggName    = fs.String("agg", "max", "aggregation: max, min, mean or sum")
 		hidden     = fs.Int("hidden", 32, "hidden dimension")
+		shards     = fs.Int("shards", 1, "engine shards: >1 serves the graph from a partitioned multi-engine deployment (-wal becomes a WAL directory)")
 		batch      = fs.Int("batch", 0, "micro-batch size for /v1/submit (0 disables batching)")
 		staleness  = fs.Duration("staleness", 0, "max staleness before a pending /v1/submit batch flushes")
 		walPath    = fs.String("wal", "", "write-ahead log path: applied batches are journaled, and with -bundle the log is replayed on startup")
@@ -90,6 +92,42 @@ func buildServer(args []string) (http.Handler, string, error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
+	}
+
+	if *shards > 1 {
+		if *bundle != "" || *saveBundle != "" {
+			return nil, "", fmt.Errorf("-shards is incompatible with -bundle/-save-bundle (engine bundles are single-engine)")
+		}
+		if *batch > 0 || *staleness > 0 || *slowUpdate > 0 || *traceAll || *auditEvery != 256 || *slo > 0 {
+			log.Printf("note: -batch/-staleness/-slow-update/-trace-updates/-audit-*/-slo are single-engine flags; ignored with -shards=%d", *shards)
+		}
+		g, feats, err := loadData(fs, *file, *name, *scale, *seed)
+		if err != nil {
+			return nil, "", err
+		}
+		model, err := buildModel(*modelName, *aggName, *hidden, feats.Dim(), *seed)
+		if err != nil {
+			return nil, "", err
+		}
+		log.Printf("bootstrapping %s over %d nodes / %d edges across %d shards …",
+			model.Name, g.NumNodes(), g.NumEdges(), *shards)
+		var d metrics.Stopwatch
+		d.Start()
+		rt, err := shard.New(model, g, feats.X, shard.Config{Shards: *shards, WALDir: *walPath})
+		d.Stop()
+		if err != nil {
+			return nil, "", err
+		}
+		st := rt.Stats()
+		log.Printf("initial inference done in %v (cut fraction %.3f)", d.Elapsed(), st.CutFraction)
+		if st.RecoveredRounds > 0 {
+			log.Printf("replayed %d rounds from the shard WALs", st.RecoveredRounds)
+		}
+		if *walPath != "" {
+			log.Printf("journaling rounds to per-shard WALs under %s", *walPath)
+		}
+		handler := withPprof(rt.Handler(), *pprofOn)
+		return handler, *addr, nil
 	}
 
 	var counters metrics.Counters
@@ -117,45 +155,13 @@ func buildServer(args []string) (http.Handler, string, error) {
 			}
 		}
 	} else {
-		var (
-			g     *graph.Graph
-			feats *dataset.Features
-			err   error
-		)
-		switch {
-		case *file != "":
-			g, feats, err = dataset.LoadFile(*file)
-			if err != nil {
-				return nil, "", err
-			}
-		case *name != "":
-			spec, err := dataset.ByName(*name)
-			if err != nil {
-				return nil, "", err
-			}
-			spec.Scale *= *scale
-			g, feats = dataset.Generate(spec, *seed)
-			log.Printf("generated %s", spec)
-		default:
-			fs.Usage()
-			return nil, "", fmt.Errorf("one of -dataset, -file or -bundle is required")
-		}
-
-		agg, err := gnn.ParseAggKind(*aggName)
+		g, feats, err := loadData(fs, *file, *name, *scale, *seed)
 		if err != nil {
 			return nil, "", err
 		}
-		rng := rand.New(rand.NewSource(*seed + 100))
-		var model *gnn.Model
-		switch *modelName {
-		case "gcn":
-			model = gnn.NewGCN(rng, feats.Dim(), *hidden, gnn.NewAggregator(agg))
-		case "sage":
-			model = gnn.NewSAGE(rng, feats.Dim(), *hidden, gnn.NewAggregator(agg))
-		case "gin":
-			model = gnn.NewGIN(rng, feats.Dim(), *hidden, 5, gnn.NewAggregator(agg))
-		default:
-			return nil, "", fmt.Errorf("unknown model %q (want gcn, sage or gin)", *modelName)
+		model, err := buildModel(*modelName, *aggName, *hidden, feats.Dim(), *seed)
+		if err != nil {
+			return nil, "", err
 		}
 
 		log.Printf("bootstrapping %s over %d nodes / %d edges …", model.Name, g.NumNodes(), g.NumEdges())
@@ -225,17 +231,61 @@ func buildServer(args []string) (http.Handler, string, error) {
 		srv.EnableDriftAudit(*auditEvery, *auditSample, float32(*auditTol))
 		log.Printf("drift audit: every %d updates, %d nodes sampled", *auditEvery, *auditSample)
 	}
-	handler := srv.Handler()
-	if *pprofOn {
-		mux := http.NewServeMux()
-		mux.Handle("/", handler)
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
-		log.Printf("pprof enabled at /debug/pprof/")
-	}
+	handler := withPprof(srv.Handler(), *pprofOn)
 	return handler, *addr, nil
+}
+
+// loadData resolves the -file / -dataset flags into a graph and features.
+func loadData(fs *flag.FlagSet, file, name string, scale, seed int64) (*graph.Graph, *dataset.Features, error) {
+	switch {
+	case file != "":
+		return dataset.LoadFile(file)
+	case name != "":
+		spec, err := dataset.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		spec.Scale *= scale
+		g, feats := dataset.Generate(spec, seed)
+		log.Printf("generated %s", spec)
+		return g, feats, nil
+	default:
+		fs.Usage()
+		return nil, nil, fmt.Errorf("one of -dataset, -file or -bundle is required")
+	}
+}
+
+// buildModel constructs the named model over the dataset's feature size.
+func buildModel(modelName, aggName string, hidden, dim int, seed int64) (*gnn.Model, error) {
+	agg, err := gnn.ParseAggKind(aggName)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	switch modelName {
+	case "gcn":
+		return gnn.NewGCN(rng, dim, hidden, gnn.NewAggregator(agg)), nil
+	case "sage":
+		return gnn.NewSAGE(rng, dim, hidden, gnn.NewAggregator(agg)), nil
+	case "gin":
+		return gnn.NewGIN(rng, dim, hidden, 5, gnn.NewAggregator(agg)), nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (want gcn, sage or gin)", modelName)
+	}
+}
+
+// withPprof wraps handler with the /debug/pprof/ endpoints when enabled.
+func withPprof(handler http.Handler, on bool) http.Handler {
+	if !on {
+		return handler
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("pprof enabled at /debug/pprof/")
+	return mux
 }

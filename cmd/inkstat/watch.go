@@ -137,7 +137,18 @@ func summaryLine(s obs.Samples) string {
 	return fmt.Sprintf("serving: epoch=%.0f  lag=%.0f  updates=%.0f  reads=%.0f  group-commits=%.0f (avg batch %.1f)  fused=%.1f  stalls=%.0f",
 		get("inkstream_snapshot_epoch"), get("inkstream_snapshot_lag_batches"),
 		get("inkstream_updates_total"), get("inkstream_reads_total"),
-		gcCount, gcMean, coMean, get("inkstream_coalesce_stalls_total"))
+		gcCount, gcMean, coMean, get("inkstream_coalesce_stalls_total")) + shardSuffix(s)
+}
+
+// shardSuffix appends the partitioned-deployment fields when the scrape
+// comes from a shard router (single-engine servers don't export the family).
+func shardSuffix(s obs.Samples) string {
+	shards, ok := s.Get("inkstream_router_shards")
+	if !ok || shards <= 1 {
+		return ""
+	}
+	skew, _ := s.Get("inkstream_router_epoch_skew")
+	return fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
 }
 
 // watchLine summarises one scrape window. Rates come from counter deltas;
@@ -153,8 +164,14 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	secs := dt.Seconds()
 	updates := delta("inkstream_updates_total")
 
-	les, cumCur := cur.Buckets("inkstream_update_latency_seconds")
-	_, cumPrev := prev.Buckets("inkstream_update_latency_seconds")
+	latFamily := "inkstream_update_latency_seconds"
+	if les, _ := cur.Buckets(latFamily); len(les) == 0 {
+		// Shard routers export ack latency only (there is no single update
+		// pipeline to time).
+		latFamily = "inkstream_ack_latency_seconds"
+	}
+	les, cumCur := cur.Buckets(latFamily)
+	_, cumPrev := prev.Buckets(latFamily)
 	p99 := 0.0
 	if len(cumPrev) == len(cumCur) {
 		dcum := make([]float64, len(cumCur))
@@ -192,7 +209,7 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f  fused=%.1f  stalls=%.0f",
 		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending,
 		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch, fused,
-		delta("inkstream_coalesce_stalls_total"))
+		delta("inkstream_coalesce_stalls_total")) + shardSuffix(cur)
 }
 
 // visitRatio returns the windowed share of node visits resolved as cond,

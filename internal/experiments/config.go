@@ -55,6 +55,10 @@ type Config struct {
 	// BurstUpdates is the total number of single-change updates the burst
 	// scenario pushes through each coalescing mode.
 	BurstUpdates int
+	// ShardCounts is the deployment sizes the shard-scaling scenario
+	// measures (experiment "shards"); the first entry should be 1 so the
+	// speedup and bit-exactness columns have a baseline.
+	ShardCounts []int
 }
 
 // Default returns the standard configuration used by cmd/inkbench.
@@ -107,6 +111,9 @@ func (c Config) normalize() Config {
 	}
 	if c.BurstUpdates < 1 {
 		c.BurstUpdates = 2000
+	}
+	if len(c.ShardCounts) == 0 {
+		c.ShardCounts = []int{1, 2, 4, 8}
 	}
 	return c
 }

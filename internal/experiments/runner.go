@@ -31,6 +31,7 @@ var Registry = map[string]Runner{
 	"scaling": func(c Config) (Result, error) { return Scaling(c) },
 	"mixed":   func(c Config) (Result, error) { return Mixed(c) },
 	"burst":   func(c Config) (Result, error) { return Burst(c) },
+	"shards":  func(c Config) (Result, error) { return ShardScaling(c) },
 }
 
 // Names returns the sorted experiment IDs.

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/shard"
+	"repro/internal/tensor"
+)
+
+// ShardPoint is the measured throughput of one shard count under the
+// flash-crowd stream.
+type ShardPoint struct {
+	Shards        int
+	Updates       int
+	Duration      time.Duration
+	UpdatesPerSec float64
+	AckP50        time.Duration
+	AckP99        time.Duration
+	// Rounds is how many BSP rounds the stream fused into; Stalls the
+	// rounds sealed early by a conflicting request.
+	Rounds int64
+	Stalls int64
+	// CutFraction is the partition's bootstrap cut; BoundaryRecords the
+	// ghost-refresh records broadcast during the run (both 0 at 1 shard).
+	CutFraction     float64
+	BoundaryRecords int64
+	// Speedup is UpdatesPerSec over the 1-shard point.
+	Speedup float64
+	// BitExact reports whether every final embedding matched the 1-shard
+	// deployment bitwise.
+	BitExact bool
+}
+
+// ShardScalingResult reports the partitioned-serving scaling scenario: the
+// identical pipelined flash-crowd stream pushed through deployments of
+// increasing shard counts.
+type ShardScalingResult struct {
+	Dataset    string
+	Depth      int
+	Waves      int
+	Hub        graph.NodeID
+	HubDegree  int
+	GOMAXPROCS int
+	Points     []ShardPoint
+}
+
+// Render formats the scaling report. The per-point `shard-scaling:` lines
+// are stable and machine-parseable (scripts/bench_snapshot.sh).
+func (r ShardScalingResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard scaling (%s): %d waves x %d pipelined single-change updates, flash crowd on node %d (degree %d), GOMAXPROCS=%d\n",
+		r.Dataset, r.Waves, r.Depth, r.Hub, r.HubDegree, r.GOMAXPROCS)
+	for _, p := range r.Points {
+		exact := "bit-exact"
+		if !p.BitExact {
+			exact = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "  shard-scaling: shards=%d upd/s=%.1f p50=%v p99=%v speedup=%.2fx rounds=%d stalls=%d cut=%.3f boundary-records=%d %s\n",
+			p.Shards, p.UpdatesPerSec, p.AckP50.Round(time.Microsecond),
+			p.AckP99.Round(time.Microsecond), p.Speedup, p.Rounds, p.Stalls,
+			p.CutFraction, p.BoundaryRecords, exact)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// runShardCount drives the flash-crowd stream through one deployment size
+// and returns its point plus the final embeddings for the exactness check.
+func runShardCount(inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
+	waves, shards int) (ShardPoint, []tensor.Vector, error) {
+	rt, err := shard.New(model, inst.G, inst.X, shard.Config{Shards: shards})
+	if err != nil {
+		return ShardPoint{}, nil, err
+	}
+	defer rt.Close()
+
+	depth := len(pools)
+	lats := make([]time.Duration, 0, depth*waves)
+	submitted := make([]time.Time, depth)
+	dones := make([]<-chan error, depth)
+	t0 := time.Now()
+	for i := 0; i < waves; i++ {
+		for w, pool := range pools {
+			ch := pool[i%len(pool)]
+			ch.Insert = (i/len(pool))%2 == 0
+			submitted[w] = time.Now()
+			dones[w] = rt.ApplyAsync(graph.Delta{ch}, nil)
+		}
+		for w, d := range dones {
+			if err := <-d; err != nil {
+				return ShardPoint{}, nil, fmt.Errorf("wave %d stream %d: %w", i, w, err)
+			}
+			lats = append(lats, time.Since(submitted[w]))
+		}
+	}
+	dur := time.Since(t0)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	q := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	st := rt.Stats()
+	point := ShardPoint{
+		Shards:          shards,
+		Updates:         len(lats),
+		Duration:        dur,
+		UpdatesPerSec:   float64(len(lats)) / dur.Seconds(),
+		AckP50:          q(0.50),
+		AckP99:          q(0.99),
+		Rounds:          st.Rounds,
+		Stalls:          st.Stalls,
+		CutFraction:     st.CutFraction,
+		BoundaryRecords: st.BoundaryRecords,
+	}
+	rows := make([]tensor.Vector, inst.G.NumNodes())
+	for v := range rows {
+		row, _, ok := rt.ReadEmbedding(v)
+		if !ok {
+			return ShardPoint{}, nil, fmt.Errorf("node %d unreadable after run", v)
+		}
+		rows[v] = row.Clone()
+	}
+	return point, rows, nil
+}
+
+// ShardScaling runs the partitioned-serving scenario on the first configured
+// dataset: the identical flash-crowd stream (the burst scenario's workload)
+// through shard.Router deployments at every configured shard count,
+// reporting updates/sec and ack latency per count, the speedup over the
+// 1-shard deployment, and whether every final embedding stayed bit-exact
+// across deployment shapes (DESIGN.md §11.3).
+func ShardScaling(c Config) (ShardScalingResult, error) {
+	c = c.normalize()
+	inst := c.build(c.Datasets[0])
+	model := c.model(modelGCN, inst.X.Cols, gnn.AggMax)
+	depth := c.BurstDepth
+	waves := c.BurstUpdates / depth
+	if waves < 1 {
+		waves = 1
+	}
+	hub, pools := burstPools(inst.G, depth, 16)
+
+	res := ShardScalingResult{
+		Dataset: inst.Spec.Name, Depth: depth, Waves: waves,
+		Hub: hub, HubDegree: inst.G.OutDegree(hub),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var ref []tensor.Vector
+	for _, s := range c.ShardCounts {
+		point, rows, err := runShardCount(inst, model, pools, waves, s)
+		if err != nil {
+			return ShardScalingResult{}, fmt.Errorf("shards=%d: %w", s, err)
+		}
+		if ref == nil {
+			ref = rows
+			point.BitExact = true
+			if point.Shards != 1 {
+				// Without a 1-shard reference the exactness column is
+				// meaningless; only claim it when the baseline ran.
+				point.BitExact = false
+			}
+		} else {
+			point.BitExact = true
+			for v, row := range rows {
+				if !row.Equal(ref[v]) {
+					point.BitExact = false
+					break
+				}
+				_ = v
+			}
+		}
+		if len(res.Points) > 0 && res.Points[0].Shards == 1 && res.Points[0].UpdatesPerSec > 0 {
+			point.Speedup = point.UpdatesPerSec / res.Points[0].UpdatesPerSec
+		} else if point.Shards == 1 {
+			point.Speedup = 1
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}

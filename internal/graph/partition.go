@@ -1,0 +1,161 @@
+package graph
+
+import "fmt"
+
+// Partition assigns every vertex to one of NumShards owners — the routing
+// map of partitioned multi-engine serving (DESIGN.md §11). The assignment
+// is immutable after construction: shard graphs, ghost rows and per-shard
+// WALs are all derived from it, so re-partitioning means rebuilding the
+// deployment.
+type Partition struct {
+	owner  []uint8
+	shards int
+}
+
+// MaxShards bounds the shard count (owners are stored in a uint8).
+const MaxShards = 256
+
+func newPartition(n, shards int) (*Partition, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("graph: shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	return &Partition{owner: make([]uint8, n), shards: shards}, nil
+}
+
+// NewHashPartition spreads n vertices across shards by a deterministic
+// integer hash of the vertex ID. Hashing decorrelates shard assignment
+// from ID locality, so generator-ordered graphs (RMAT, SBM) spread their
+// hubs evenly — the paper-recommended default when no better partitioner
+// (METIS-style min-cut) is available.
+func NewHashPartition(n, shards int) (*Partition, error) {
+	p, err := newPartition(n, shards)
+	if err != nil {
+		return nil, err
+	}
+	for v := range p.owner {
+		p.owner[v] = uint8(mix64(uint64(v)) % uint64(shards))
+	}
+	return p, nil
+}
+
+// NewBlockPartition assigns contiguous ID ranges to shards (vertex v goes
+// to shard v·shards/n). On graphs whose IDs carry locality this minimises
+// the cut; on generator-ordered graphs it concentrates hubs. Exposed so
+// the shard-scaling bench can compare cut fractions.
+func NewBlockPartition(n, shards int) (*Partition, error) {
+	p, err := newPartition(n, shards)
+	if err != nil {
+		return nil, err
+	}
+	for v := range p.owner {
+		p.owner[v] = uint8(v * shards / max(n, 1))
+	}
+	return p, nil
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche integer hash, so
+// consecutive IDs land on unrelated shards.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NumShards returns the shard count.
+func (p *Partition) NumShards() int { return p.shards }
+
+// NumNodes returns the number of partitioned vertices.
+func (p *Partition) NumNodes() int { return len(p.owner) }
+
+// Owner returns the shard owning vertex v.
+func (p *Partition) Owner(v NodeID) int { return int(p.owner[v]) }
+
+// LocalMask returns the per-vertex ownership mask of one shard — the
+// engine-side local/ghost split (inkstream.SetPartitionLocal).
+func (p *Partition) LocalMask(shard int) []bool {
+	mask := make([]bool, len(p.owner))
+	for v, o := range p.owner {
+		mask[v] = int(o) == shard
+	}
+	return mask
+}
+
+// Counts returns the number of vertices owned by each shard.
+func (p *Partition) Counts() []int {
+	counts := make([]int, p.shards)
+	for _, o := range p.owner {
+		counts[o]++
+	}
+	return counts
+}
+
+// CutStats summarises how a partition cuts a graph: every arc whose source
+// and destination live on different shards crosses the cut, and every
+// message-change record of a boundary source is broadcast as ghost-refresh
+// traffic. The stats feed metrics and the shard-scaling bench report; they
+// play no role in correctness (the broadcast exchange needs no cut index).
+type CutStats struct {
+	// Arcs is the total directed arc count; CutArcs the arcs crossing
+	// shards; CutFraction their ratio (0 on an empty graph).
+	Arcs        int
+	CutArcs     int
+	CutFraction float64
+	// ShardArcs[s] counts arcs whose destination shard s owns (the arcs of
+	// shard s's graph); BoundarySources[s] counts shard-s vertices with at
+	// least one out-arc into another shard (the vertices whose updates ship
+	// ghost refreshes).
+	ShardArcs       []int
+	BoundarySources []int
+}
+
+// Cut measures how p cuts g.
+func (p *Partition) Cut(g *Graph) CutStats {
+	st := CutStats{
+		ShardArcs:       make([]int, p.shards),
+		BoundarySources: make([]int, p.shards),
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		src := p.Owner(NodeID(u))
+		boundary := false
+		for _, v := range g.OutNeighbors(NodeID(u)) {
+			dst := p.Owner(v)
+			st.Arcs++
+			st.ShardArcs[dst]++
+			if src != dst {
+				st.CutArcs++
+				boundary = true
+			}
+		}
+		if boundary {
+			st.BoundarySources[src]++
+		}
+	}
+	if st.Arcs > 0 {
+		st.CutFraction = float64(st.CutArcs) / float64(st.Arcs)
+	}
+	return st
+}
+
+// ShardGraph builds shard s's graph: a directed graph over the full vertex
+// ID space containing exactly the arcs whose destination s owns. The shard
+// engine aggregates only at local vertices, so it needs every in-arc of a
+// local vertex (for exposed-reset recomputes over ghost rows) and no
+// others; out-neighbor iteration over this graph yields exactly the local
+// destinations a broadcast message-change record fans out to. The result
+// is always directed — undirected logical edges must be expanded to arcs
+// by the caller (shard.ExpandDelta does this for update batches).
+func (p *Partition) ShardGraph(g *Graph, s int) *Graph {
+	sg := New(g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.OutNeighbors(NodeID(u)) {
+			if p.Owner(v) != s {
+				continue
+			}
+			if err := sg.AddEdge(NodeID(u), v); err != nil {
+				panic("graph: ShardGraph: " + err.Error())
+			}
+		}
+	}
+	return sg
+}

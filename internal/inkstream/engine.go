@@ -103,6 +103,19 @@ type Engine struct {
 	evBuf  []Event
 	uevBuf []UserEvent
 
+	// Partitioned-mode state (partition.go). partLocal non-nil switches the
+	// engine into shard mode: Apply is disabled in favour of the
+	// BeginRound/RoundLayer/FinishRound protocol, and processTarget captures
+	// message-change records into outR/partRecOut instead of fanning events
+	// out locally.
+	partLocal  []bool
+	partActive bool
+	partDelta  graph.Delta
+	partOld    []map[graph.NodeID]tensor.Vector
+	partCarU   []UserEvent
+	partRecOut []MessageChange
+	outR       [][]MessageChange
+
 	// routeN stages one layer's full native event list (changed-edge events
 	// plus carried events) ahead of grouping, so the sharded router can
 	// partition it; reused across layers and Applies.
@@ -309,6 +322,9 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 	// batch is recorded into the latency/size histograms at the end. A few
 	// time.Now calls per update keep the overhead well under the <5%
 	// budget the observability layer is held to (BenchmarkApplyObservability).
+	if e.partLocal != nil {
+		return errPartitioned
+	}
 	observing := e.obs != nil
 	var t0, phase0 time.Time
 	if observing {
@@ -341,32 +357,8 @@ func (e *Engine) Apply(delta graph.Delta, vups []VertexUpdate) error {
 	// Record which arcs are inserted (propagation from an affected source
 	// skips them — the changed-edge event carries the new message already)
 	// and per-node in-degree deltas (the mean aggregator's incremental
-	// formula needs the previous degree). The maps are created on the
-	// first non-empty delta and cleared in place afterwards; vertex-only
-	// batches never pay for them.
-	if len(e.insArcs) > 0 {
-		clear(e.insArcs)
-	}
-	if len(e.degDelta) > 0 {
-		clear(e.degDelta)
-	}
-	if len(delta) > 0 {
-		if e.insArcs == nil {
-			e.insArcs = make(map[[2]graph.NodeID]struct{})
-			e.degDelta = make(map[graph.NodeID]int)
-		}
-		for _, ch := range delta {
-			arcs, na := e.arcsOf(ch)
-			for _, a := range arcs[:na] {
-				if ch.Insert {
-					e.insArcs[a] = struct{}{}
-					e.degDelta[a[1]]++
-				} else {
-					e.degDelta[a[1]]--
-				}
-			}
-		}
-	}
+	// formula needs the previous degree).
+	e.indexDeltaArcs(delta)
 
 	if err := delta.Apply(e.g); err != nil {
 		return err // unreachable after Validate, but fail safe
@@ -627,8 +619,9 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 	for len(e.outN) < n {
 		e.outN = append(e.outN, nil)
 		e.outU = append(e.outU, nil)
+		e.outR = append(e.outR, nil)
 	}
-	outN, outU := e.outN, e.outU
+	outN, outU, outR := e.outN, e.outU, e.outR
 	if cap(e.conds) < n {
 		e.conds = make([]Condition, n)
 		e.dirt = make([]bool, n)
@@ -638,7 +631,7 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 		// Per-chunk scratch, recycled across chunks, layers and Applies.
 		sc := e.getScratch(l)
 		for i := lo; i < hi; i++ {
-			outN[i], outU[i], conds[i], dirt[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0])
+			outN[i], outU[i], outR[i], conds[i], dirt[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0], outR[i][:0])
 		}
 		e.scratchPools[l].Put(sc)
 	}
@@ -654,6 +647,11 @@ func (e *Engine) processLayer(l int, groups []*group) ([]Event, []UserEvent) {
 	for i := 0; i < n; i++ {
 		nextN = append(nextN, outN[i]...)
 		nextU = append(nextU, outU[i]...)
+		if e.partActive {
+			// Records merge in sorted-group-target order, so the round's
+			// record list comes out sorted by source node.
+			e.partRecOut = append(e.partRecOut, outR[i]...)
+		}
 		e.stats.Add(conds[i])
 		e.layerStats[l].Add(conds[i])
 		if dirt[i] {
@@ -695,10 +693,12 @@ func newScratch(layer gnn.Layer) *scratch {
 // processTarget handles all events heading to one node in one layer:
 // Algorithm 1 lines 4–21 plus the user-hook application and the next-layer
 // propagation of Sec. II-B2. Emitted events are appended to evts/uevts
-// (reusable buffers owned by the caller's group slot). The final return
-// reports whether the write landed in the final layer with a changed
-// value — i.e. whether the served embedding row is now dirty.
-func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts []UserEvent) ([]Event, []UserEvent, Condition, bool) {
+// (reusable buffers owned by the caller's group slot); in partitioned mode
+// the local fan-out is replaced by a message-change record appended to recs
+// (partition.go). The final bool reports whether the write landed in the
+// final layer with a changed value — i.e. whether the served embedding row
+// is now dirty.
+func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts []UserEvent, recs []MessageChange) ([]Event, []UserEvent, []MessageChange, Condition, bool) {
 	layer := e.model.Layers[l]
 	agg := layer.Agg()
 	u := g.target
@@ -733,7 +733,7 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 		if g.hasNative() {
 			cond = CondPruned
 		}
-		return evts, uevts, cond, false
+		return evts, uevts, recs, cond, false
 	}
 
 	// Recompute the layer output h_{l+1,u} = act(𝒯(α, m)) from the
@@ -753,10 +753,10 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 	if !hChanged && !e.opts.DisablePruning {
 		// The embedding survived the α change (e.g. clamped by ReLU):
 		// the node is resilient at the output level; prune.
-		return evts, uevts, cond, false
+		return evts, uevts, recs, cond, false
 	}
 	if l+1 >= e.model.NumLayers() {
-		return evts, uevts, cond, outChanged
+		return evts, uevts, recs, cond, outChanged
 	}
 
 	// Refresh the node's next-layer message and fan out events. oldM (and
@@ -769,11 +769,19 @@ func (e *Engine) processTarget(l int, g *group, sc *scratch, evts []Event, uevts
 	next.ComputeMessage(mRow, hRow)
 	gnn.CountMessage(e.c, next)
 	if oldM.Equal(mRow) && !e.opts.DisablePruning {
-		return evts, uevts, cond, false
+		return evts, uevts, recs, cond, false
 	}
-	evts = e.fanOut(u, next.Agg(), oldM, mRow, evts)
+	if e.partActive {
+		// Partitioned mode: the router broadcasts the message change to
+		// every shard, which regenerates the fan-out over its own arcs
+		// (RoundLayer) — including this one. Local fan-out here would
+		// double-apply the change to local out-neighbors.
+		recs = append(recs, MessageChange{Node: u, Old: oldM, New: mRow})
+	} else {
+		evts = e.fanOut(u, next.Agg(), oldM, mRow, evts)
+	}
 	uevts = append(uevts, e.hooks.Propagate(l, u, oldM, mRow)...)
-	return evts, uevts, cond, false
+	return evts, uevts, recs, cond, false
 }
 
 // fanOut builds the next-layer events from node u to its current

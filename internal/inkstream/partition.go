@@ -1,0 +1,280 @@
+package inkstream
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// This file is the partition-aware face of the engine: the shard-side half
+// of partitioned multi-engine serving (internal/shard, DESIGN.md §11).
+//
+// In partitioned mode one engine owns a subset of the vertices. It holds
+// full-size state matrices, but only the rows of local vertices are
+// authoritative; message rows of remote vertices are ghost rows, refreshed
+// from broadcast message-change records at the start of every layer. The
+// engine never fans events out itself — processTarget captures a
+// MessageChange record per affected source instead, the router merges the
+// records of all shards in node order, and every shard regenerates the
+// fan-out over its own in-arcs (RoundLayer). Because a shard graph holds
+// every in-arc of every local vertex, the regenerated per-target event
+// sequence is exactly the single-engine sequence restricted to local
+// targets, in the same arrival order — which is what makes N-shard results
+// bit-exact against a 1-shard run (see DESIGN.md §11.3).
+
+var errPartitioned = errors.New("inkstream: engine is in partitioned mode; use BeginRound/RoundLayer/FinishRound via the shard router")
+
+// MessageChange records that node Node's layer-(l+1) message changed from
+// Old to New while processing layer l (or its layer-0 message, for a
+// vertex-feature update). Old points into the emitting engine's arena and
+// New into its live message matrix: both are stable until that engine's
+// next BeginRound, so receivers must consume records within the same round
+// (the router's layer barrier guarantees this).
+type MessageChange struct {
+	Node graph.NodeID
+	Old  tensor.Vector
+	New  tensor.Vector
+}
+
+// SetPartitionLocal switches the engine into partitioned mode: local[v]
+// reports whether this engine owns vertex v. The engine's graph must
+// already be the shard graph (every in-arc of every local vertex, nothing
+// else — graph.Partition.ShardGraph builds it). Passing nil returns the
+// engine to standalone mode. Not safe to call concurrently with rounds.
+func (e *Engine) SetPartitionLocal(local []bool) error {
+	if local != nil && len(local) != e.g.NumNodes() {
+		return fmt.Errorf("inkstream: partition mask for %d nodes, graph has %d", len(local), e.g.NumNodes())
+	}
+	if e.partActive {
+		return errors.New("inkstream: cannot change partition mask mid-round")
+	}
+	e.partLocal = local
+	return nil
+}
+
+// BeginRound opens one update round: it validates and applies this shard's
+// sub-batch (directed edge changes whose destinations are local, plus
+// feature updates of local vertices) and returns the layer-0 message-change
+// records produced by the feature updates, in sub-batch order. On
+// validation error nothing is mutated and the round stays closed.
+//
+// The returned slice is engine-owned scratch, valid until the next call
+// into this engine; callers that aggregate records across shards must copy
+// the elements out (the structs, not the payloads — payloads stay valid for
+// the round).
+func (e *Engine) BeginRound(delta graph.Delta, vups []VertexUpdate) ([]MessageChange, error) {
+	if e.partLocal == nil {
+		return nil, errors.New("inkstream: BeginRound requires partitioned mode (SetPartitionLocal)")
+	}
+	if e.partActive {
+		return nil, errors.New("inkstream: BeginRound with a round already open")
+	}
+	if err := delta.Validate(e.g); err != nil {
+		return nil, err
+	}
+	if err := e.validateVertexUpdates(vups); err != nil {
+		return nil, err
+	}
+	for i, up := range vups {
+		if !e.partLocal[up.Node] {
+			return nil, fmt.Errorf("inkstream: vertex update %d targets remote node %d", i, up.Node)
+		}
+	}
+
+	// Same staging as Apply: rewind the payload arena, snapshot the
+	// pre-round messages of removed-arc sources (ghost rows included —
+	// they still hold last round's values here), index inserted arcs and
+	// in-degree deltas, then mutate the shard graph.
+	e.arena.reset()
+	e.partOld = e.snapshotRemovedSources(delta)
+	e.indexDeltaArcs(delta)
+	if err := delta.Apply(e.g); err != nil {
+		return nil, err // unreachable after Validate, but fail safe
+	}
+	e.partDelta = delta
+	e.partActive = true
+
+	recs, carU := e.applyVertexUpdatesCapture(vups)
+	e.partCarU = carU
+	return recs, nil
+}
+
+// RoundLayer runs layer l of the open round. recs must be the node-sorted
+// union of every shard's records for this layer: the layer-0 records
+// returned by BeginRound (for l == 0) or the records returned by the
+// previous RoundLayer (for l > 0). It refreshes ghost message rows from
+// remote records, regenerates the layer's event list (changed-edge events
+// in sub-batch order, then record fan-out in node order — the single-engine
+// arrival order restricted to local targets), processes the layer, and
+// returns this shard's records for the next layer, sorted by node.
+// The returned slice is engine-owned scratch (see BeginRound).
+func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error) {
+	if !e.partActive {
+		return nil, errors.New("inkstream: RoundLayer without an open round")
+	}
+	if l < 0 || l >= e.model.NumLayers() {
+		return nil, fmt.Errorf("inkstream: RoundLayer layer %d out of range [0,%d)", l, e.model.NumLayers())
+	}
+
+	// Ghost refresh: adopt the remote shards' message changes before any
+	// event references M[l]. Local records are this engine's own rows —
+	// already current.
+	for _, r := range recs {
+		if e.partLocal[r.Node] {
+			continue
+		}
+		e.state.M[l].SetRow(int(r.Node), r.New)
+		e.c.StoreVec(len(r.New))
+	}
+
+	// Stage the layer's native event list exactly as Apply does: changed-
+	// edge events first, then the fan-out of this layer's message changes.
+	e.routeN = e.appendChangedEdgeEvents(e.routeN[:0], l, e.partDelta, e.partOld)
+	e.routeN = e.regenFanOut(e.routeN, l, recs)
+	carriedUser := e.partCarU
+
+	dim := e.model.Layers[l].MsgDim()
+	var groups []*group
+	if S := e.shardCount(len(e.routeN) + len(carriedUser)); S > 1 {
+		e.gr.beginSharded(dim, S)
+		groups = e.gr.groupSharded(e.routeN, carriedUser, e.hooks)
+	} else {
+		e.gr.begin(dim)
+		for _, ev := range e.routeN {
+			e.gr.addNative(ev)
+		}
+		for _, ev := range carriedUser {
+			e.gr.addUser(ev)
+		}
+		groups = e.gr.finish(e.hooks)
+	}
+
+	e.partRecOut = e.partRecOut[:0]
+	_, carU := e.processLayer(l, groups)
+	e.partCarU = carU
+	return e.partRecOut, nil
+}
+
+// FinishRound closes the open round. The caller publishes a snapshot
+// afterwards (PublishSnapshot) so readers see the round's effects.
+func (e *Engine) FinishRound() error {
+	if !e.partActive {
+		return errors.New("inkstream: FinishRound without an open round")
+	}
+	e.partActive = false
+	e.partDelta = nil
+	e.partOld = nil
+	e.partCarU = nil
+	e.snap.applied++
+	return nil
+}
+
+// regenFanOut regenerates the layer-l events of the round's message-change
+// records over this shard's arcs: for each record in node order, events to
+// the source's local out-neighbors, skipping arcs inserted this round
+// (their changed-edge events already carry the new message). This mirrors
+// Engine.fanOut with the record standing in for the in-process source: the
+// payloads are rebuilt locally (old-message clone, ghost-row new message,
+// locally computed diff), so cross-shard records are read exactly once.
+func (e *Engine) regenFanOut(evts []Event, l int, recs []MessageChange) []Event {
+	agg := e.model.Layers[l].Agg()
+	for _, r := range recs {
+		nbrs := e.g.OutNeighbors(r.Node)
+		if len(nbrs) == 0 {
+			continue
+		}
+		newM := e.state.M[l].Row(int(r.Node))
+		if agg.Monotonic() {
+			oldM := e.arena.clone(r.Old)
+			evts = slices.Grow(evts, 2*len(nbrs))
+			for _, v := range nbrs {
+				if _, skip := e.insArcs[[2]graph.NodeID{r.Node, v}]; skip {
+					continue
+				}
+				e.c.FetchVec(2 * len(newM))
+				evts = append(evts,
+					Event{Op: OpDel, Target: v, Payload: e.payload(oldM)},
+					Event{Op: OpAdd, Target: v, Payload: e.payload(newM)})
+			}
+		} else {
+			// The diff is bitwise identical on every shard (same Old/New
+			// bits, same elementwise subtraction), so accumulative sums see
+			// the exact payloads a single engine would.
+			diff := e.arena.alloc(len(newM))
+			tensor.Sub(diff, newM, r.Old)
+			evts = slices.Grow(evts, len(nbrs))
+			for _, v := range nbrs {
+				if _, skip := e.insArcs[[2]graph.NodeID{r.Node, v}]; skip {
+					continue
+				}
+				e.c.FetchVec(len(diff))
+				evts = append(evts, Event{Op: OpUpdate, Target: v, Payload: e.payload(diff)})
+			}
+		}
+	}
+	return evts
+}
+
+// applyVertexUpdatesCapture is applyVertexUpdates for partitioned mode:
+// instead of fanning layer-0 events out it captures one MessageChange per
+// feature update whose message actually changed, in sub-batch order (the
+// router sorts round updates by node, so this is node order).
+func (e *Engine) applyVertexUpdatesCapture(ups []VertexUpdate) ([]MessageChange, []UserEvent) {
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	layer0 := e.model.Layers[0]
+	e.partRecOut = e.partRecOut[:0]
+	uevts := e.uevBuf[:0]
+	for _, up := range ups {
+		e.state.H[0].SetRow(int(up.Node), up.X)
+		mRow := e.state.M[0].Row(int(up.Node))
+		oldM := e.arena.clone(mRow)
+		layer0.ComputeMessage(mRow, up.X)
+		gnn.CountMessage(e.c, layer0)
+		if oldM.Equal(mRow) {
+			continue
+		}
+		e.partRecOut = append(e.partRecOut, MessageChange{Node: up.Node, Old: oldM, New: mRow})
+		uevts = append(uevts, e.hooks.Propagate(-1, up.Node, oldM, mRow)...)
+	}
+	e.uevBuf = uevts
+	return e.partRecOut, uevts
+}
+
+// indexDeltaArcs records which arcs this batch inserts (propagation from
+// an affected source skips them — the changed-edge event carries the new
+// message already) and per-node in-degree deltas (the mean aggregator's
+// incremental formula needs the previous degree). The maps are created on
+// the first non-empty delta and cleared in place afterwards; vertex-only
+// batches never pay for them. Shared by Apply and BeginRound.
+func (e *Engine) indexDeltaArcs(delta graph.Delta) {
+	if len(e.insArcs) > 0 {
+		clear(e.insArcs)
+	}
+	if len(e.degDelta) > 0 {
+		clear(e.degDelta)
+	}
+	if len(delta) == 0 {
+		return
+	}
+	if e.insArcs == nil {
+		e.insArcs = make(map[[2]graph.NodeID]struct{})
+		e.degDelta = make(map[graph.NodeID]int)
+	}
+	for _, ch := range delta {
+		arcs, na := e.arcsOf(ch)
+		for _, a := range arcs[:na] {
+			if ch.Insert {
+				e.insArcs[a] = struct{}{}
+				e.degDelta[a[1]]++
+			} else {
+				e.degDelta[a[1]]--
+			}
+		}
+	}
+}

@@ -70,6 +70,11 @@ func (e *Engine) applyVertexUpdates(ups []VertexUpdate) ([]Event, []UserEvent) {
 // vector at every layer). Connect it afterwards with Update and inserted
 // edges. Must not be called concurrently with Apply.
 func (e *Engine) AddNode(x tensor.Vector) (graph.NodeID, error) {
+	if e.partLocal != nil {
+		// The partition map is fixed at deployment build time; growing the
+		// vertex space would leave the new node unowned.
+		return 0, errPartitioned
+	}
 	if len(x) != e.model.InDim() {
 		return 0, fmt.Errorf("inkstream: AddNode feature dim %d, model wants %d", len(x), e.model.InDim())
 	}

@@ -73,6 +73,17 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	})
 }
 
+// LabeledGaugeFunc registers a gauge family whose samples (one per label
+// set) are produced by fn at scrape time — e.g. the shard router's
+// per-shard snapshot epochs.
+func (r *Registry) LabeledGaugeFunc(name, help string, fn func() []LabeledValue) {
+	r.register(name, help, "gauge", func(emit func(string, string, float64, string)) {
+		for _, lv := range fn() {
+			emit("", lv.Labels, lv.Value, "")
+		}
+	})
+}
+
 // LabeledCounterFunc registers a counter family whose samples (one per
 // label set) are produced by fn at scrape time.
 func (r *Registry) LabeledCounterFunc(name, help string, fn func() []LabeledValue) {

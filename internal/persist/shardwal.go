@@ -1,0 +1,30 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Per-shard WAL layout for partitioned multi-engine serving (DESIGN.md
+// §11.4): each shard journals its own sub-batch stream under one parent
+// directory, and the WALs are round-aligned — every shard writes exactly
+// one record per update round (an empty record when the round carries no
+// local work), so record index i in every shard's WAL describes the same
+// round. Recovery replays the longest round prefix present in every WAL.
+
+// ShardWALPath returns shard s's WAL file path under dir:
+// dir/shard-NNN/wal.log.
+func ShardWALPath(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", s), "wal.log")
+}
+
+// OpenShardWAL opens (creating directories as needed) shard s's WAL under
+// dir.
+func OpenShardWAL(dir string, s int) (*WAL, error) {
+	path := ShardWALPath(dir, s)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating shard WAL directory: %w", err)
+	}
+	return OpenWAL(path)
+}

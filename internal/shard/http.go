@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+// Handler returns the router's route table. The wire formats of the
+// endpoints shared with the single-engine server (update, features,
+// embedding) are identical — server.UpdateRequest and friends — so clients
+// and inkstat work against either deployment shape; /v1/stats carries the
+// shard-aware StatsResponse instead.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", rt.handleUpdate)
+	mux.HandleFunc("POST /v1/features", rt.handleFeatures)
+	mux.HandleFunc("GET /v1/embedding", rt.handleEmbedding)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.Handle("GET /metrics", rt.reg.Handler())
+	return mux
+}
+
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req server.UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Changes) == 0 {
+		httpError(w, http.StatusBadRequest, "empty change batch")
+		return
+	}
+	delta := make(graph.Delta, len(req.Changes))
+	for i, c := range req.Changes {
+		delta[i] = graph.EdgeChange{U: c.U, V: c.V, Insert: c.Insert}
+	}
+	t0 := time.Now()
+	err := rt.Apply(delta, nil)
+	lat := time.Since(t0)
+	if err != nil {
+		httpError(w, mutationStatus(err), "applying batch: %v", err)
+		return
+	}
+	lo, _ := rt.epochs()
+	writeJSON(w, server.UpdateResponse{
+		Applied:   len(delta),
+		Epoch:     lo,
+		LatencyMS: float64(lat.Microseconds()) / 1000,
+	})
+}
+
+func (rt *Router) handleFeatures(w http.ResponseWriter, r *http.Request) {
+	var req server.FeaturesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		httpError(w, http.StatusBadRequest, "empty feature batch")
+		return
+	}
+	ups := make([]inkstream.VertexUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = inkstream.VertexUpdate{Node: u.Node, X: tensor.Vector(u.X)}
+	}
+	t0 := time.Now()
+	err := rt.Apply(nil, ups)
+	lat := time.Since(t0)
+	if err != nil {
+		httpError(w, mutationStatus(err), "applying features: %v", err)
+		return
+	}
+	lo, _ := rt.epochs()
+	writeJSON(w, server.UpdateResponse{
+		Applied:   len(ups),
+		Epoch:     lo,
+		LatencyMS: float64(lat.Microseconds()) / 1000,
+	})
+}
+
+func (rt *Router) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	nodeStr := r.URL.Query().Get("node")
+	node, err := strconv.Atoi(nodeStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad node %q", nodeStr)
+		return
+	}
+	row, epoch, ok := rt.ReadEmbedding(node)
+	if !ok {
+		httpError(w, http.StatusNotFound, "node %d out of range", node)
+		return
+	}
+	writeJSON(w, server.EmbeddingResponse{Node: int32(node), Epoch: epoch, Embedding: row})
+}
+
+// handleStats serves the shard-aware stats; ?shard=N restricts the
+// response to one shard's slice.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := rt.Stats()
+	if s := r.URL.Query().Get("shard"); s != "" {
+		id, err := strconv.Atoi(s)
+		if err != nil || id < 0 || id >= len(stats.PerShard) {
+			httpError(w, http.StatusBadRequest, "bad shard %q (have %d)", s, len(stats.PerShard))
+			return
+		}
+		writeJSON(w, stats.PerShard[id])
+		return
+	}
+	writeJSON(w, stats)
+}
+
+// HealthzResponse is the router's GET /healthz body. Status "degraded"
+// means writes are fail-stopped after a round failure; reads still serve.
+type HealthzResponse struct {
+	Status        string   `json:"status"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Shards        int      `json:"shards"`
+	Epoch         uint64   `json:"epoch"`
+	EpochSkew     uint64   `json:"epoch_skew"`
+	Reasons       []string `json:"reasons,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	lo, hi := rt.epochs()
+	resp := HealthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(rt.started).Seconds(),
+		Shards:        len(rt.shards),
+		Epoch:         lo,
+		EpochSkew:     hi - lo,
+	}
+	if rt.corrupt.Load() {
+		resp.Status = "degraded"
+		resp.Reasons = append(resp.Reasons, "writes fail-stopped after a failed round; reads serve the last published snapshots")
+	}
+	writeJSON(w, resp)
+}
+
+func mutationStatus(err error) int {
+	if err == ErrRouterClosed || err == ErrCorrupt {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

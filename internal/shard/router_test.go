@@ -1,0 +1,471 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/tensor"
+)
+
+func testGraph(rng *rand.Rand, n, edges int) *graph.Graph {
+	g := graph.NewUndirected(n)
+	for g.NumEdges() < edges {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func testModel(rng *rand.Rand, name string, featLen int, kind gnn.AggKind) *gnn.Model {
+	switch name {
+	case "SAGE":
+		return gnn.NewSAGE(rng, featLen, 8, gnn.NewAggregator(kind))
+	case "GIN":
+		return gnn.NewGIN(rng, featLen, 8, 3, gnn.NewAggregator(kind))
+	}
+	panic("unknown model " + name)
+}
+
+// TestCrossShardBitExact drives an identical add/delete/feature-update
+// stream through a 1-shard and a 4-shard deployment over a graph with a
+// nontrivial cut and demands identical embeddings for every vertex at every
+// published epoch — bitwise, for accumulative aggregators included (the
+// §11.3 exactness claim). The final state is also checked against
+// from-scratch inference on a mirror of the stream.
+func TestCrossShardBitExact(t *testing.T) {
+	for _, name := range []string{"SAGE", "GIN"} {
+		for _, kind := range []gnn.AggKind{gnn.AggMax, gnn.AggMean, gnn.AggSum} {
+			t.Run(fmt.Sprintf("%s/%s", name, kind), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(97))
+				const n, featLen = 60, 6
+				g := testGraph(rng, n, 150)
+				x := tensor.RandMatrix(rng, n, featLen, 1)
+				model := testModel(rng, name, featLen, kind)
+
+				r1, err := New(model, g.Clone(), x.Clone(), Config{Shards: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r1.Close()
+				r4, err := New(model, g.Clone(), x.Clone(), Config{Shards: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r4.Close()
+				if r4.Stats().CutFraction == 0 {
+					t.Fatal("4-shard partition has a trivial cut; the test would prove nothing")
+				}
+
+				mirror := g.Clone()
+				xCur := x.Clone()
+				for step := 0; step < 10; step++ {
+					delta := graph.RandomDelta(rng, mirror, 4)
+					var vups []inkstream.VertexUpdate
+					if step%2 == 1 {
+						for _, v := range rng.Perm(n)[:3] {
+							up := inkstream.VertexUpdate{
+								Node: graph.NodeID(v),
+								X:    tensor.RandVector(rng, featLen, 1),
+							}
+							vups = append(vups, up)
+							copy(xCur.Row(v), up.X)
+						}
+					}
+					if err := r1.Apply(delta, vups); err != nil {
+						t.Fatalf("step %d: 1-shard apply: %v", step, err)
+					}
+					if err := r4.Apply(delta, vups); err != nil {
+						t.Fatalf("step %d: 4-shard apply: %v", step, err)
+					}
+					if err := delta.Apply(mirror); err != nil {
+						t.Fatalf("step %d: mirror apply: %v", step, err)
+					}
+					for v := 0; v < n; v++ {
+						row1, e1, ok1 := r1.ReadEmbedding(v)
+						row4, e4, ok4 := r4.ReadEmbedding(v)
+						if !ok1 || !ok4 {
+							t.Fatalf("step %d: node %d unreadable", step, v)
+						}
+						if e1 != e4 {
+							t.Fatalf("step %d: node %d epochs diverged: %d vs %d", step, v, e1, e4)
+						}
+						if !row1.Equal(row4) {
+							t.Fatalf("step %d: node %d embeddings diverged at epoch %d:\n1-shard: %v\n4-shard: %v",
+								step, v, e1, row1, row4)
+						}
+					}
+				}
+
+				// The shared stream also has to mean the right thing: check
+				// the 4-shard deployment against from-scratch inference on
+				// the mirrored graph and features.
+				want, err := gnn.Infer(model, mirror, xCur, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				monotonic := kind == gnn.AggMax || kind == gnn.AggMin
+				for v := 0; v < n; v++ {
+					row, _, _ := r4.ReadEmbedding(v)
+					ref := want.Output().Row(v)
+					if monotonic && !row.Equal(ref) {
+						t.Fatalf("node %d: not bit-identical to reference inference", v)
+					}
+					if !monotonic && !row.ApproxEqual(ref, 2e-3) {
+						t.Fatalf("node %d: drifted from reference inference: %v vs %v", v, row, ref)
+					}
+				}
+
+				st := r4.Stats()
+				if st.Shards != 4 || len(st.PerShard) != 4 {
+					t.Fatalf("stats report %d shards / %d slices, want 4", st.Shards, len(st.PerShard))
+				}
+				if st.EpochSkew != 0 {
+					t.Fatalf("idle deployment has epoch skew %d", st.EpochSkew)
+				}
+				if st.BoundaryRecords == 0 || st.BoundaryBytes == 0 {
+					t.Fatal("multi-shard stream produced no boundary traffic")
+				}
+				if st.Edges != mirror.NumEdges() {
+					t.Fatalf("stats count %d edges, mirror has %d", st.Edges, mirror.NumEdges())
+				}
+			})
+		}
+	}
+}
+
+// TestRouterConcurrentWriters is the -race stress for router fan-out under
+// concurrent conflicting writers: several goroutines toggle edges from one
+// shared pool (guaranteed conflicts → stall-sealed rounds), others stream
+// feature updates over disjoint vertex sets, and readers poll embeddings
+// throughout. Afterwards the deployment must agree bitwise with from-scratch
+// inference over the reconstructed graph (each successful toggle flips
+// presence, so final presence is initial XOR parity).
+func TestRouterConcurrentWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	const n, featLen = 40, 5
+	g := testGraph(rng, n, 80)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := testModel(rng, "SAGE", featLen, gnn.AggMax)
+
+	rt, err := New(model, g.Clone(), x.Clone(), Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// A pool of canonical edges, some initially present, some absent.
+	type pooled struct {
+		u, v    graph.NodeID
+		present bool
+		toggles atomic.Int64
+	}
+	var pool []*pooled
+	seen := make(map[[2]graph.NodeID]bool)
+	for len(pool) < 16 {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if v < u {
+			u, v = v, u
+		}
+		if seen[[2]graph.NodeID{u, v}] {
+			continue
+		}
+		seen[[2]graph.NodeID{u, v}] = true
+		pool = append(pool, &pooled{u: u, v: v, present: g.HasEdge(u, v)})
+	}
+
+	const writers, opsPerWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			wrng := rand.New(rand.NewSource(seed))
+			for op := 0; op < opsPerWriter; op++ {
+				p := pool[wrng.Intn(len(pool))]
+				// Racing writers mean we cannot know the edge's current
+				// presence; try one polarity, fall back to the other. Exactly
+				// one can succeed per attempt, and each success is a toggle.
+				ins := wrng.Intn(2) == 0
+				d := graph.Delta{{U: p.u, V: p.v, Insert: ins}}
+				if rt.Apply(d, nil) == nil {
+					p.toggles.Add(1)
+					continue
+				}
+				d[0].Insert = !ins
+				if rt.Apply(d, nil) == nil {
+					p.toggles.Add(1)
+				}
+			}
+		}(int64(1000 + w))
+	}
+
+	// Feature writers own disjoint vertex slices; sequential sync applies
+	// mean the last submitted value is the final one.
+	finalX := x.Clone()
+	var fwg sync.WaitGroup
+	var fmu sync.Mutex
+	for w := 0; w < 2; w++ {
+		fwg.Add(1)
+		go func(w int) {
+			defer fwg.Done()
+			frng := rand.New(rand.NewSource(int64(2000 + w)))
+			nodes := []graph.NodeID{graph.NodeID(w), graph.NodeID(10 + w), graph.NodeID(20 + w)}
+			for op := 0; op < 15; op++ {
+				node := nodes[frng.Intn(len(nodes))]
+				up := inkstream.VertexUpdate{Node: node, X: tensor.RandVector(frng, featLen, 1)}
+				if err := rt.Apply(nil, []inkstream.VertexUpdate{up}); err != nil {
+					t.Errorf("feature writer %d: %v", w, err)
+					return
+				}
+				fmu.Lock()
+				copy(finalX.Row(int(node)), up.X)
+				fmu.Unlock()
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func(seed int64) {
+			defer rwg.Done()
+			rrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row, _, ok := rt.ReadEmbedding(rrng.Intn(n))
+				if !ok || len(row) == 0 {
+					t.Error("reader: bad embedding")
+					return
+				}
+			}
+		}(int64(3000 + r))
+	}
+
+	wg.Wait()
+	fwg.Wait()
+	close(stop)
+	rwg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	expected := g.Clone()
+	for _, p := range pool {
+		present := p.present != (p.toggles.Load()%2 == 1)
+		if present != expected.HasEdge(p.u, p.v) {
+			var err error
+			if present {
+				err = expected.AddEdge(p.u, p.v)
+			} else {
+				err = expected.RemoveEdge(p.u, p.v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := gnn.Infer(model, expected, finalX, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		row, _, _ := rt.ReadEmbedding(v)
+		if !row.Equal(want.Output().Row(v)) {
+			t.Fatalf("node %d: post-stress state disagrees with reference inference", v)
+		}
+	}
+	if rt.Corrupt() {
+		t.Fatal("deployment marked corrupt after clean stress")
+	}
+}
+
+// TestRouterWALRecovery round-trips a deployment through its per-shard
+// WALs: apply a stream, close, reopen over the same bootstrap inputs, and
+// demand identical epochs and embeddings, then verify the reopened router
+// still accepts updates.
+func TestRouterWALRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const n, featLen = 40, 5
+	g := testGraph(rng, n, 90)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := testModel(rng, "SAGE", featLen, gnn.AggMean)
+	dir := t.TempDir()
+	cfg := Config{Shards: 3, WALDir: dir}
+
+	rt, err := New(model, g.Clone(), x.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := g.Clone()
+	const steps = 5
+	for step := 0; step < steps; step++ {
+		delta := graph.RandomDelta(rng, mirror, 3)
+		vups := []inkstream.VertexUpdate{{
+			Node: graph.NodeID(rng.Intn(n)),
+			X:    tensor.RandVector(rng, featLen, 1),
+		}}
+		if err := rt.Apply(delta, vups); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := delta.Apply(mirror); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type snap struct {
+		row   tensor.Vector
+		epoch uint64
+	}
+	before := make([]snap, n)
+	for v := 0; v < n; v++ {
+		row, epoch, _ := rt.ReadEmbedding(v)
+		before[v] = snap{row: row.Clone(), epoch: epoch}
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt2, err := New(model, g.Clone(), x.Clone(), cfg)
+	if err != nil {
+		t.Fatalf("reopening: %v", err)
+	}
+	defer rt2.Close()
+	st := rt2.Stats()
+	if st.RecoveredRounds != steps {
+		t.Fatalf("recovered %d rounds, want %d", st.RecoveredRounds, steps)
+	}
+	for v := 0; v < n; v++ {
+		row, epoch, _ := rt2.ReadEmbedding(v)
+		if epoch != before[v].epoch {
+			t.Fatalf("node %d: epoch %d after recovery, want %d", v, epoch, before[v].epoch)
+		}
+		if !row.Equal(before[v].row) {
+			t.Fatalf("node %d: embedding changed across recovery", v)
+		}
+	}
+	if st.Edges != mirror.NumEdges() {
+		t.Fatalf("recovered %d edges, mirror has %d", st.Edges, mirror.NumEdges())
+	}
+
+	delta := graph.RandomDelta(rng, mirror, 2)
+	if err := rt2.Apply(delta, nil); err != nil {
+		t.Fatalf("post-recovery apply: %v", err)
+	}
+	if _, epoch, _ := rt2.ReadEmbedding(0); epoch != before[0].epoch+1 {
+		t.Fatalf("post-recovery epoch %d, want %d", epoch, before[0].epoch+1)
+	}
+}
+
+// TestRouterValidation pins the router-side validation that makes shard
+// applies infallible: invalid batches are rejected whole with no state
+// change, and the deployment stays healthy.
+func TestRouterValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, featLen = 30, 4
+	g := testGraph(rng, n, 60)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := testModel(rng, "SAGE", featLen, gnn.AggMax)
+
+	rt, err := New(model, g.Clone(), x.Clone(), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	var present, absent graph.EdgeChange
+	found := 0
+	for u := 0; u < n && found < 2; u++ {
+		for v := u + 1; v < n && found < 2; v++ {
+			if g.HasEdge(graph.NodeID(u), graph.NodeID(v)) {
+				if present == (graph.EdgeChange{}) {
+					present = graph.EdgeChange{U: graph.NodeID(u), V: graph.NodeID(v)}
+					found++
+				}
+			} else if absent == (graph.EdgeChange{}) {
+				absent = graph.EdgeChange{U: graph.NodeID(u), V: graph.NodeID(v)}
+				found++
+			}
+		}
+	}
+
+	cases := []struct {
+		name  string
+		delta graph.Delta
+		vups  []inkstream.VertexUpdate
+	}{
+		{"insert-existing", graph.Delta{{U: present.U, V: present.V, Insert: true}}, nil},
+		{"delete-missing", graph.Delta{{U: absent.U, V: absent.V, Insert: false}}, nil},
+		{"vup-out-of-range", nil, []inkstream.VertexUpdate{{Node: n + 5, X: make(tensor.Vector, featLen)}}},
+		{"vup-bad-dim", nil, []inkstream.VertexUpdate{{Node: 1, X: make(tensor.Vector, featLen+1)}}},
+		{"vup-duplicate", nil, []inkstream.VertexUpdate{
+			{Node: 2, X: make(tensor.Vector, featLen)},
+			{Node: 2, X: make(tensor.Vector, featLen)},
+		}},
+	}
+	for _, tc := range cases {
+		if err := rt.Apply(tc.delta, tc.vups); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	st := rt.Stats()
+	if st.Rounds != 0 {
+		t.Fatalf("rejected batches produced %d rounds", st.Rounds)
+	}
+	if st.Corrupt {
+		t.Fatal("rejections marked the deployment corrupt")
+	}
+	if st.Edges != g.NumEdges() {
+		t.Fatalf("edge count drifted to %d, want %d", st.Edges, g.NumEdges())
+	}
+
+	// A valid batch still lands after the rejections.
+	if err := rt.Apply(graph.Delta{{U: absent.U, V: absent.V, Insert: true}}, nil); err != nil {
+		t.Fatalf("valid batch after rejections: %v", err)
+	}
+	if got := rt.Stats().Edges; got != g.NumEdges()+1 {
+		t.Fatalf("edge count %d after insert, want %d", got, g.NumEdges()+1)
+	}
+}
+
+// TestRouterClose pins shutdown semantics: Apply after Close fails with
+// ErrRouterClosed and reads keep serving.
+func TestRouterClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, featLen = 20, 4
+	g := testGraph(rng, n, 40)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := testModel(rng, "SAGE", featLen, gnn.AggMax)
+	rt, err := New(model, g.Clone(), x.Clone(), Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Apply(graph.Delta{{U: 0, V: 1, Insert: !g.HasEdge(0, 1)}}, nil); err != ErrRouterClosed {
+		t.Fatalf("apply after close: %v, want ErrRouterClosed", err)
+	}
+	if _, _, ok := rt.ReadEmbedding(0); !ok {
+		t.Fatal("reads stopped serving after close")
+	}
+}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"fmt"
+
+	"repro/internal/inkstream"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// ShardStats is one shard's slice of /v1/stats.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Epoch is the shard's published snapshot epoch; Rounds the update
+	// rounds it reflects. All shards publish every round, so epochs agree
+	// except transiently while a round's publishes race the reader.
+	Epoch  uint64 `json:"epoch"`
+	Rounds uint64 `json:"rounds"`
+	// OwnedNodes is the partition size; Arcs the shard graph's current arc
+	// count (every in-arc of every owned vertex).
+	OwnedNodes   int   `json:"owned_nodes"`
+	Arcs         int   `json:"arcs"`
+	Events       int64 `json:"events_processed"`
+	NodesVisited int64 `json:"nodes_visited"`
+}
+
+// StatsResponse is the body of the router's GET /v1/stats.
+type StatsResponse struct {
+	Shards int `json:"shards"`
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	// Epoch is the minimum published epoch across shards (the epoch every
+	// read is guaranteed to be at least as fresh as); EpochSkew the max
+	// minus min across shards.
+	Epoch       uint64 `json:"epoch"`
+	EpochSkew   uint64 `json:"epoch_skew"`
+	SnapshotLag uint64 `json:"snapshot_lag"`
+	// Rounds counts applied BSP rounds (RecoveredRounds of them replayed
+	// from the WALs at startup); Stalls the rounds sealed early by a
+	// conflicting request.
+	Rounds          int64 `json:"rounds"`
+	RecoveredRounds int64 `json:"recovered_rounds"`
+	Stalls          int64 `json:"stalls"`
+	UpdatesServed   int64 `json:"updates_served"`
+	ReadsServed     int64 `json:"reads_served"`
+	// CutFraction is the bootstrap-time fraction of arcs crossing shards;
+	// BoundaryRecords/BoundaryBytes the cumulative ghost-refresh broadcast
+	// traffic those cut arcs induced.
+	CutFraction     float64                 `json:"cut_fraction"`
+	BoundaryRecords int64                   `json:"boundary_records"`
+	BoundaryBytes   int64                   `json:"boundary_bytes"`
+	Corrupt         bool                    `json:"corrupt,omitempty"`
+	AckLatency      server.LatencyQuantiles `json:"ack_latency"`
+	PerShard        []ShardStats            `json:"per_shard"`
+}
+
+// Stats summarises the deployment. Everything is read from published
+// snapshots and atomics — safe from any goroutine, lock-free.
+func (rt *Router) Stats() StatsResponse {
+	lo, hi := rt.epochs()
+	resp := StatsResponse{
+		Shards:          len(rt.shards),
+		Nodes:           rt.part.NumNodes(),
+		Edges:           int(rt.edges.Load()),
+		Epoch:           lo,
+		EpochSkew:       hi - lo,
+		Rounds:          rt.rounds.Load(),
+		RecoveredRounds: rt.recovered.Load(),
+		Stalls:          rt.stalls.Load(),
+		UpdatesServed:   rt.updates.Load(),
+		ReadsServed:     rt.reads.Load(),
+		CutFraction:     rt.cut.CutFraction,
+		BoundaryRecords: rt.boundaryRecs.Load(),
+		BoundaryBytes:   rt.boundaryBytes.Load(),
+		Corrupt:         rt.corrupt.Load(),
+	}
+	if p, a := rt.processed.Load(), rt.accepted.Load(); a > p {
+		resp.SnapshotLag = a - p
+	}
+	lat := rt.ackLat.Snapshot()
+	const ms = 1e-6
+	resp.AckLatency = server.LatencyQuantiles{
+		P50: float64(lat.P50()) * ms,
+		P95: float64(lat.P95()) * ms,
+		P99: float64(lat.P99()) * ms,
+		Max: float64(lat.Max) * ms,
+	}
+	counts := rt.part.Counts()
+	for i, s := range rt.shards {
+		snap := s.eng.Snapshot()
+		cs := s.c.Snapshot()
+		resp.PerShard = append(resp.PerShard, ShardStats{
+			Shard:        i,
+			Epoch:        snap.Epoch,
+			Rounds:       snap.AppliedBatches,
+			OwnedNodes:   counts[i],
+			Arcs:         snap.Edges,
+			Events:       cs.EventsProcessed,
+			NodesVisited: cs.NodesVisited,
+		})
+	}
+	return resp
+}
+
+// buildRegistry registers the router's /metrics families. Families shared
+// with the single-engine server keep the same names and semantics
+// (aggregated across shards) so existing dashboards and inkstat keep
+// working; router- and shard-scoped families are new.
+func (rt *Router) buildRegistry() {
+	r := rt.reg
+	r.GaugeFunc("inkstream_router_shards",
+		"Engine shards behind this router.",
+		func() float64 { return float64(len(rt.shards)) })
+	r.GaugeFunc("inkstream_router_epoch_skew",
+		"Max minus min published snapshot epoch across shards (transient while a round publishes).",
+		func() float64 { lo, hi := rt.epochs(); return float64(hi - lo) })
+	r.GaugeFunc("inkstream_router_cut_fraction",
+		"Fraction of arcs crossing shard boundaries at bootstrap (partition quality).",
+		func() float64 { return rt.cut.CutFraction })
+	r.GaugeFunc("inkstream_snapshot_epoch",
+		"Minimum published snapshot epoch across shards.",
+		func() float64 { lo, _ := rt.epochs(); return float64(lo) })
+	r.GaugeFunc("inkstream_snapshot_lag_batches",
+		"Mutation requests accepted by the router but not yet acked (reader staleness bound).",
+		func() float64 {
+			p := rt.processed.Load()
+			a := rt.accepted.Load()
+			if a < p {
+				return 0
+			}
+			return float64(a - p)
+		})
+	r.CounterFunc("inkstream_updates_total",
+		"Update rounds applied across all shards (each round is one barrier-synchronised batch).",
+		func() float64 { return float64(rt.rounds.Load()) })
+	r.CounterFunc("inkstream_http_updates_served_total",
+		"Successful mutation requests.",
+		func() float64 { return float64(rt.updates.Load()) })
+	r.CounterFunc("inkstream_reads_total",
+		"Embedding reads resolved against a shard's published snapshot.",
+		func() float64 { return float64(rt.reads.Load()) })
+	r.GaugeFunc("inkstream_graph_nodes",
+		"Vertices in the served graph.",
+		func() float64 { return float64(rt.part.NumNodes()) })
+	r.GaugeFunc("inkstream_graph_edges",
+		"Logical edges in the served graph.",
+		func() float64 { return float64(rt.edges.Load()) })
+	r.Histogram("inkstream_ack_latency_seconds",
+		"Submit-to-ack latency of one mutation request (round formation + per-shard journal + BSP apply + publish).",
+		1e-9, rt.ackLat)
+	r.Histogram("inkstream_coalesced_batch_size",
+		"Mutation requests fused into one BSP round.",
+		1, rt.coSize)
+	r.CounterFunc("inkstream_coalesce_stalls_total",
+		"Rounds sealed early because a queued request conflicted (same edge or same updated vertex).",
+		func() float64 { return float64(rt.stalls.Load()) })
+	r.CounterFunc("inkstream_rounds_recovered_total",
+		"Rounds replayed from the per-shard WALs at startup.",
+		func() float64 { return float64(rt.recovered.Load()) })
+	r.CounterFunc("inkstream_boundary_records_total",
+		"Message-change records broadcast across shards for ghost-row refresh and fan-out regeneration.",
+		func() float64 { return float64(rt.boundaryRecs.Load()) })
+	r.CounterFunc("inkstream_boundary_bytes_total",
+		"Payload bytes carried by cross-shard record broadcasts.",
+		func() float64 { return float64(rt.boundaryBytes.Load()) })
+	r.Histogram("inkstream_boundary_round_records",
+		"Cross-shard records exchanged per round (all layers).",
+		1, rt.recSize)
+	r.CounterFunc("inkstream_events_processed_total",
+		"InkStream propagation events consumed, summed across shards.",
+		func() float64 {
+			var total int64
+			for _, s := range rt.shards {
+				total += s.c.EventsProcessed.Load()
+			}
+			return float64(total)
+		})
+	r.LabeledCounterFunc("inkstream_node_visits_total",
+		"Per-layer node visits by InkStream condition, summed across shards.",
+		func() []obs.LabeledValue {
+			counts := make(map[string]int64)
+			for _, s := range rt.shards {
+				st := s.eng.Snapshot().Conditions
+				for c := inkstream.CondPruned; c <= inkstream.CondSelfOnly; c++ {
+					counts[c.String()] += st.Counts[c]
+				}
+			}
+			return obs.SortedLabeled("condition", counts)
+		})
+	r.LabeledGaugeFunc("inkstream_shard_epoch",
+		"Published snapshot epoch per shard.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(rt.shards))
+			for i, s := range rt.shards {
+				out[i] = obs.LabeledValue{
+					Labels: shardLabel(i),
+					Value:  float64(s.eng.Snapshot().Epoch),
+				}
+			}
+			return out
+		})
+	r.LabeledGaugeFunc("inkstream_shard_owned_nodes",
+		"Vertices owned per shard.",
+		func() []obs.LabeledValue {
+			counts := rt.part.Counts()
+			out := make([]obs.LabeledValue, len(counts))
+			for i, n := range counts {
+				out[i] = obs.LabeledValue{Labels: shardLabel(i), Value: float64(n)}
+			}
+			return out
+		})
+	r.LabeledCounterFunc("inkstream_shard_rounds_total",
+		"Update rounds reflected in each shard's published snapshot.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(rt.shards))
+			for i, s := range rt.shards {
+				out[i] = obs.LabeledValue{
+					Labels: shardLabel(i),
+					Value:  float64(s.eng.Snapshot().AppliedBatches),
+				}
+			}
+			return out
+		})
+	r.LabeledCounterFunc("inkstream_shard_events_total",
+		"InkStream propagation events consumed per shard.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(rt.shards))
+			for i, s := range rt.shards {
+				out[i] = obs.LabeledValue{
+					Labels: shardLabel(i),
+					Value:  float64(s.c.EventsProcessed.Load()),
+				}
+			}
+			return out
+		})
+	r.LabeledCounterFunc("inkstream_shard_node_visits_total",
+		"Node visits per shard (all conditions).",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(rt.shards))
+			for i, s := range rt.shards {
+				out[i] = obs.LabeledValue{
+					Labels: shardLabel(i),
+					Value:  float64(s.c.NodesVisited.Load()),
+				}
+			}
+			return out
+		})
+}
+
+func shardLabel(i int) string { return fmt.Sprintf(`shard="%d"`, i) }

@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Snapshot the PR4 performance numbers into BENCH_pr4.json: the engine
-# Apply benchmarks (sequential vs sharded grouping), and the sustained
-# flash-crowd burst scenario (coalescing on vs off). Run from the repo
-# root; takes a couple of minutes on a small container.
+# Snapshot the performance numbers:
+#   BENCH_pr4.json — engine Apply benchmarks (sequential vs sharded
+#     grouping) and the flash-crowd burst scenario (coalescing on vs off).
+#   BENCH_pr6.json — the partitioned-serving scaling curve (the same
+#     flash-crowd stream through 1/2/4/8-shard deployments), with the
+#     host's core count and GOMAXPROCS recorded alongside: the curve only
+#     rises when real cores back the shards.
+# Run from the repo root; takes a couple of minutes on a small container.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_pr4.json
 benchout=$(mktemp)
 burstout=$(mktemp)
-trap 'rm -f "$benchout" "$burstout"' EXIT
+shardout=$(mktemp)
+trap 'rm -f "$benchout" "$burstout" "$shardout"' EXIT
 
 go test -run '^$' -bench 'BenchmarkApply$|BenchmarkApplyShardedGrouping|BenchmarkApplySequentialGrouping' \
     -benchmem ./internal/inkstream | tee "$benchout"
@@ -45,3 +50,36 @@ cat > "$out" <<JSON
 JSON
 echo "wrote $out"
 cat "$out"
+
+# ---------------------------------------------------------------------------
+# PR6: shard-scaling curve.
+
+out6=BENCH_pr6.json
+go run ./cmd/inkbench -quick -datasets YP -burst-updates 2000 -shard-counts 1,2,4,8 shards | tee "$shardout"
+
+gmp=$(awk -F'GOMAXPROCS=' '/^Shard scaling/ { print $2; exit }' "$shardout")
+points=$(awk '/shard-scaling:/ {
+    delete m
+    for (i = 1; i <= NF; i++) if (split($i, kv, "=") == 2) m[kv[1]] = kv[2]
+    sub(/x$/, "", m["speedup"])
+    exact = ($NF == "bit-exact") ? "true" : "false"
+    printf "%s    {\"shards\": %s, \"updates_per_sec\": %s, \"ack_p50\": \"%s\", \"ack_p99\": \"%s\", \"speedup\": %s, \"rounds\": %s, \"stalls\": %s, \"cut_fraction\": %s, \"boundary_records\": %s, \"bit_exact\": %s}",
+        sep, m["shards"], m["upd/s"], m["p50"], m["p99"], m["speedup"],
+        m["rounds"], m["stalls"], m["cut"], m["boundary-records"], exact
+    sep = ",\n"
+}' "$shardout")
+
+cat > "$out6" <<JSON
+{
+  "generated_by": "scripts/bench_snapshot.sh",
+  "host_cpus": $(nproc),
+  "gomaxprocs": ${gmp:-0},
+  "scenario": "flash crowd, queue depth 8, quick Yelp profile, 2000 pipelined updates per shard count",
+  "note": "shard scaling needs real cores: on a 1-CPU host the curve is flat-to-negative (BSP fan-out overhead with no parallel backing); bit_exact compares every final embedding against the 1-shard deployment bitwise",
+  "shard_scaling": [
+$points
+  ]
+}
+JSON
+echo "wrote $out6"
+cat "$out6"

@@ -15,13 +15,19 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
-    ./internal/obs ./internal/server ./internal/scheduler ./internal/persist
+    ./internal/obs ./internal/server ./internal/scheduler ./internal/persist \
+    ./internal/shard
 
 # The PR4 hot paths deserve fresh (uncached) race runs: the sharded
 # grouper under repeated multi-batch churn and server-side coalescing
 # under concurrent conflicting writers.
 go test -race -count=1 -run 'TestShardedGrouperStress|TestShardedGroupingEquivalence|TestCoalesce' \
     ./internal/inkstream ./internal/server
+
+# The PR6 router fan-out likewise: cross-shard exactness and concurrent
+# conflicting writers against the partitioned deployment, uncached.
+go test -race -count=1 -run 'TestCrossShardBitExact|TestRouterConcurrentWriters' \
+    ./internal/shard
 
 # Observability must stay essentially free on the engine hot path and the
 # full pipeline. The gate runs paired benchmarks and is sensitive to box
