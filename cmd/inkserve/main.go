@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
@@ -98,8 +99,23 @@ func buildServer(args []string) (http.Handler, string, error) {
 		if *bundle != "" || *saveBundle != "" {
 			return nil, "", fmt.Errorf("-shards is incompatible with -bundle/-save-bundle (engine bundles are single-engine)")
 		}
-		if *batch > 0 || *staleness > 0 || *slowUpdate > 0 || *traceAll || *auditEvery != 256 || *slo > 0 {
-			log.Printf("note: -batch/-staleness/-slow-update/-trace-updates/-audit-*/-slo are single-engine flags; ignored with -shards=%d", *shards)
+		// Genuinely single-engine flags fail fast instead of being silently
+		// ignored: the batching scheduler, per-layer update tracing and the
+		// shadow drift auditor have no router equivalent. fs.Visit only
+		// reports flags the user actually set, so defaults pass.
+		singleOnly := map[string]bool{
+			"batch": true, "staleness": true, "slow-update": true,
+			"trace-updates": true, "audit-every": true, "audit-sample": true,
+			"audit-tol": true,
+		}
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if singleOnly[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return nil, "", fmt.Errorf("%s: single-engine flags with no sharded equivalent; drop them or run with -shards=1", strings.Join(bad, ", "))
 		}
 		g, feats, err := loadData(fs, *file, *name, *scale, *seed)
 		if err != nil {
@@ -125,6 +141,14 @@ func buildServer(args []string) (http.Handler, string, error) {
 		}
 		if *walPath != "" {
 			log.Printf("journaling rounds to per-shard WALs under %s", *walPath)
+		}
+		if *traceRing != 256 || *traceSample != 64 {
+			rt.SetTraceSampling(*traceRing, *traceSample)
+			log.Printf("flight recorder: ring=%d sample=1/%d", *traceRing, *traceSample)
+		}
+		if *slo > 0 {
+			rt.SetHealthSLO(*slo)
+			log.Printf("healthz SLO: ack p99 <= %v (burn-rate alerts at /v1/alerts)", *slo)
 		}
 		handler := withPprof(rt.Handler(), *pprofOn)
 		return handler, *addr, nil

@@ -168,3 +168,55 @@ func TestBuildServerErrors(t *testing.T) {
 		}
 	}
 }
+
+// Sharded serving: single-engine flags fail fast (not log-and-ignore), and
+// -slo / -trace-ring / -trace-sample carry over to the router, giving the
+// sharded deployment the same serving surface (/v1/rounds included).
+func TestBuildServerSharded(t *testing.T) {
+	for i, args := range [][]string{
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-batch", "8"},
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-slow-update", "1ms"},
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-trace-updates"},
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-audit-every", "16"},
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-audit-tol", "0.1"},
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-staleness", "1s"},
+	} {
+		if _, _, err := buildServer(args); err == nil {
+			t.Errorf("case %d: accepted single-engine flag with -shards: %v", i, args)
+		}
+	}
+
+	h, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32",
+		"-shards", "2", "-slo", "1h", "-trace-ring", "128", "-trace-sample", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for _, path := range []string{
+		"/v1/healthz", "/v1/stats", "/v1/rounds", "/v1/traces",
+		"/v1/timeseries", "/v1/alerts", "/metrics",
+	} {
+		if code := get(t, ts, path); code != http.StatusOK {
+			t.Errorf("%s status %d", path, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Shards int     `json:"shards"`
+		SLOMS  float64 `json:"slo_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Shards != 2 || hz.SLOMS != 3600000 {
+		t.Errorf("sharded healthz: %+v", hz)
+	}
+	if code := get(t, ts, "/v1/nonsense"); code != http.StatusNotFound {
+		t.Errorf("unknown /v1 path status %d, want 404", code)
+	}
+}

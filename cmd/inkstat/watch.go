@@ -141,14 +141,78 @@ func summaryLine(s obs.Samples) string {
 }
 
 // shardSuffix appends the partitioned-deployment fields when the scrape
-// comes from a shard router (single-engine servers don't export the family).
+// comes from a shard router (single-engine servers don't export the
+// family): shard count, epoch skew, the cumulative barrier-wait share of
+// BSP time and the shard most often on the critical path.
 func shardSuffix(s obs.Samples) string {
 	shards, ok := s.Get("inkstream_router_shards")
 	if !ok || shards <= 1 {
 		return ""
 	}
 	skew, _ := s.Get("inkstream_router_epoch_skew")
-	return fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
+	out := fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
+	wait, _ := s.Get("inkstream_round_barrier_wait_seconds_total")
+	compute, _ := s.Get("inkstream_round_compute_seconds_total")
+	if bsp := wait + compute; bsp > 0 {
+		out += fmt.Sprintf("  barrier=%.0f%%", 100*wait/bsp)
+	}
+	if shard, n := topStraggler(nil, s); n > 0 {
+		out += fmt.Sprintf("  straggler=s%s", shard)
+	}
+	return out
+}
+
+// shardWatchSuffix is shardSuffix over one scrape window: the barrier share
+// and straggler come from counter deltas, so they describe the rounds that
+// ran between the two scrapes (falling back to cumulative values when the
+// window profiled none).
+func shardWatchSuffix(prev, cur obs.Samples) string {
+	shards, ok := cur.Get("inkstream_router_shards")
+	if !ok || shards <= 1 {
+		return ""
+	}
+	skew, _ := cur.Get("inkstream_router_epoch_skew")
+	out := fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
+	delta := func(name string) float64 {
+		c, _ := cur.Get(name)
+		p, _ := prev.Get(name)
+		return c - p
+	}
+	wait := delta("inkstream_round_barrier_wait_seconds_total")
+	compute := delta("inkstream_round_compute_seconds_total")
+	if wait+compute <= 0 {
+		wait, _ = cur.Get("inkstream_round_barrier_wait_seconds_total")
+		compute, _ = cur.Get("inkstream_round_compute_seconds_total")
+	}
+	if bsp := wait + compute; bsp > 0 {
+		out += fmt.Sprintf("  barrier=%.0f%%", 100*wait/bsp)
+	}
+	shard, n := topStraggler(prev, cur)
+	if n == 0 {
+		shard, n = topStraggler(nil, cur)
+	}
+	if n > 0 {
+		out += fmt.Sprintf("  straggler=s%s", shard)
+	}
+	return out
+}
+
+// topStraggler returns the shard label with the most straggler rounds in
+// cur minus prev (prev nil means cumulative) and that count.
+func topStraggler(prev, cur obs.Samples) (string, float64) {
+	prevCount := map[string]float64{}
+	if prev != nil {
+		for _, s := range prev.Family("inkstream_shard_straggler_rounds_total") {
+			prevCount[s.Labels["shard"]] = s.Value
+		}
+	}
+	best, bestN := "", 0.0
+	for _, s := range cur.Family("inkstream_shard_straggler_rounds_total") {
+		if n := s.Value - prevCount[s.Labels["shard"]]; n > bestN {
+			best, bestN = s.Labels["shard"], n
+		}
+	}
+	return best, bestN
 }
 
 // watchLine summarises one scrape window. Rates come from counter deltas;
@@ -209,7 +273,7 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f  fused=%.1f  stalls=%.0f",
 		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending,
 		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch, fused,
-		delta("inkstream_coalesce_stalls_total")) + shardSuffix(cur)
+		delta("inkstream_coalesce_stalls_total")) + shardWatchSuffix(prev, cur)
 }
 
 // visitRatio returns the windowed share of node visits resolved as cond,

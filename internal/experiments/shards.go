@@ -30,6 +30,13 @@ type ShardPoint struct {
 	// ghost-refresh records broadcast during the run (both 0 at 1 shard).
 	CutFraction     float64
 	BoundaryRecords int64
+	// BarrierShare/StragglerSkew/Straggler come from the round profiler's
+	// cumulative critical-path attribution: the fraction of BSP time the
+	// mean shard spent stalled at barriers, the mean max/mean compute skew,
+	// and the shard most often on the critical path (-1 when unprofiled).
+	BarrierShare  float64
+	StragglerSkew float64
+	Straggler     int
 	// Speedup is UpdatesPerSec over the 1-shard point.
 	Speedup float64
 	// BitExact reports whether every final embedding matched the 1-shard
@@ -61,10 +68,11 @@ func (r ShardScalingResult) Render() string {
 		if !p.BitExact {
 			exact = "DIVERGED"
 		}
-		fmt.Fprintf(&b, "  shard-scaling: shards=%d upd/s=%.1f p50=%v p99=%v speedup=%.2fx rounds=%d stalls=%d cut=%.3f boundary-records=%d %s\n",
+		fmt.Fprintf(&b, "  shard-scaling: shards=%d upd/s=%.1f p50=%v p99=%v speedup=%.2fx rounds=%d stalls=%d cut=%.3f boundary-records=%d barrier-share=%.3f straggler-skew=%.2f straggler=s%d %s\n",
 			p.Shards, p.UpdatesPerSec, p.AckP50.Round(time.Microsecond),
 			p.AckP99.Round(time.Microsecond), p.Speedup, p.Rounds, p.Stalls,
-			p.CutFraction, p.BoundaryRecords, exact)
+			p.CutFraction, p.BoundaryRecords, p.BarrierShare, p.StragglerSkew,
+			p.Straggler, exact)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
@@ -119,6 +127,12 @@ func runShardCount(inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
 		Stalls:          st.Stalls,
 		CutFraction:     st.CutFraction,
 		BoundaryRecords: st.BoundaryRecords,
+		Straggler:       -1,
+	}
+	if rp := st.RoundProfile; rp != nil {
+		point.BarrierShare = rp.BarrierShare
+		point.StragglerSkew = rp.MeanStragglerSkew
+		point.Straggler = rp.Straggler
 	}
 	rows := make([]tensor.Vector, inst.G.NumNodes())
 	for v := range rows {

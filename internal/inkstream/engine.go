@@ -116,6 +116,14 @@ type Engine struct {
 	partRecOut []MessageChange
 	outR       [][]MessageChange
 
+	// roundTiming gates the per-stage round profiler hooks (partition.go):
+	// when on, each BeginRound/RoundLayer call leaves a RoundStageStats in
+	// lastStage for the router to collect after the stage barrier. Off by
+	// default — a couple of time.Now calls per stage is cheap, but the
+	// profiler is still opt-in like the flight recorder.
+	roundTiming bool
+	lastStage   RoundStageStats
+
 	// routeN stages one layer's full native event list (changed-edge events
 	// plus carried events) ahead of grouping, so the sharded router can
 	// partition it; reused across layers and Applies.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/gnn"
 	"repro/internal/graph"
@@ -27,6 +28,24 @@ import (
 // bit-exact against a 1-shard run (see DESIGN.md §11.3).
 
 var errPartitioned = errors.New("inkstream: engine is in partitioned mode; use BeginRound/RoundLayer/FinishRound via the shard router")
+
+// RoundStageStats is one shard's self-measured slice of one round stage,
+// read by the router after the stage barrier (the WaitGroup join orders the
+// write before the read). Ghost is the ghost-row refresh portion of a
+// RoundLayer call; Events the native events the stage staged locally.
+type RoundStageStats struct {
+	GhostRows int
+	Events    int
+	Ghost     time.Duration
+}
+
+// SetRoundTiming toggles the per-stage profiler hooks. Not safe to call
+// concurrently with rounds.
+func (e *Engine) SetRoundTiming(on bool) { e.roundTiming = on }
+
+// LastStageStats returns the stats of the most recent BeginRound/RoundLayer
+// call (zero when timing is off).
+func (e *Engine) LastStageStats() RoundStageStats { return e.lastStage }
 
 // MessageChange records that node Node's layer-(l+1) message changed from
 // Old to New while processing layer l (or its layer-0 message, for a
@@ -100,6 +119,9 @@ func (e *Engine) BeginRound(delta graph.Delta, vups []VertexUpdate) ([]MessageCh
 
 	recs, carU := e.applyVertexUpdatesCapture(vups)
 	e.partCarU = carU
+	if e.roundTiming {
+		e.lastStage = RoundStageStats{Events: len(recs)}
+	}
 	return recs, nil
 }
 
@@ -123,12 +145,21 @@ func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error
 	// Ghost refresh: adopt the remote shards' message changes before any
 	// event references M[l]. Local records are this engine's own rows —
 	// already current.
+	var ghostStart time.Time
+	if e.roundTiming {
+		ghostStart = time.Now()
+	}
+	ghosts := 0
 	for _, r := range recs {
 		if e.partLocal[r.Node] {
 			continue
 		}
 		e.state.M[l].SetRow(int(r.Node), r.New)
 		e.c.StoreVec(len(r.New))
+		ghosts++
+	}
+	if e.roundTiming {
+		e.lastStage = RoundStageStats{GhostRows: ghosts, Ghost: time.Since(ghostStart)}
 	}
 
 	// Stage the layer's native event list exactly as Apply does: changed-
@@ -156,6 +187,9 @@ func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error
 	e.partRecOut = e.partRecOut[:0]
 	_, carU := e.processLayer(l, groups)
 	e.partCarU = carU
+	if e.roundTiming {
+		e.lastStage.Events = len(e.routeN) + len(carriedUser)
+	}
 	return e.partRecOut, nil
 }
 
@@ -170,6 +204,9 @@ func (e *Engine) FinishRound() error {
 	e.partOld = nil
 	e.partCarU = nil
 	e.snap.applied++
+	if e.roundTiming {
+		e.lastStage = RoundStageStats{}
+	}
 	return nil
 }
 

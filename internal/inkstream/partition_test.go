@@ -114,6 +114,82 @@ func TestRoundProtocolMatchesApply(t *testing.T) {
 	}
 }
 
+// TestRoundTimingStats pins the round-profiler hooks: with timing on, every
+// stage leaves a RoundStageStats behind (ghost refresh counted for remote
+// records only, events counted for the staged layer list), FinishRound
+// clears it, and running the same stream with timing on stays bit-exact.
+func TestRoundTimingStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n, featLen = 40, 5
+	g := randomGraph(rng, n, 100)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := buildModel(rng, "SAGE", featLen, gnn.AggMean)
+
+	plain, err := New(model, g.Clone(), x.Clone(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := graph.NewHashPartition(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ink, err := NewFromState(model, part.ShardGraph(g, 0), plain.State().Clone(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ink.SetPartitionLocal(part.LocalMask(0)); err != nil {
+		t.Fatal(err)
+	}
+	ink.SetRoundTiming(true)
+
+	nodes := rng.Perm(n)[:3]
+	sort.Ints(nodes)
+	var vups []VertexUpdate
+	for _, v := range nodes {
+		vups = append(vups, VertexUpdate{Node: graph.NodeID(v), X: tensor.RandVector(rng, featLen, 1)})
+	}
+	delta := graph.RandomDelta(rng, plain.Graph(), 4)
+	if err := plain.Apply(delta, vups); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ink.BeginRound(expandDelta(delta), vups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ink.LastStageStats(); st.Events != len(recs) || st.GhostRows != 0 {
+		t.Fatalf("begin stats = %+v, want %d events", st, len(recs))
+	}
+	merged := append([]MessageChange(nil), recs...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Node < merged[j].Node })
+	for l := 0; l < model.NumLayers(); l++ {
+		out, err := ink.RoundLayer(l, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ink.LastStageStats()
+		// All-local shard: every record is local, so no ghost rows.
+		if st.GhostRows != 0 {
+			t.Fatalf("layer %d: %d ghost rows on an all-local shard", l, st.GhostRows)
+		}
+		if len(merged) > 0 && st.Events == 0 && l == 0 && len(delta) > 0 {
+			t.Fatalf("layer %d: zero events staged for a non-empty round", l)
+		}
+		merged = append(merged[:0], out...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i].Node < merged[j].Node })
+	}
+	if err := ink.FinishRound(); err != nil {
+		t.Fatal(err)
+	}
+	if st := ink.LastStageStats(); st != (RoundStageStats{}) {
+		t.Fatalf("FinishRound left stats %+v", st)
+	}
+	ink.PublishSnapshot()
+	if !plain.State().Equal(ink.State()) {
+		t.Fatal("timing-on round diverged from Apply")
+	}
+}
+
 // TestPartitionedModeRejections pins the mode boundary: a partitioned engine
 // refuses the standalone entry points, rejects remote-vertex feature updates
 // and out-of-sequence round calls, and a standalone engine refuses the round

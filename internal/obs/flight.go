@@ -70,6 +70,10 @@ type ReqTrace struct {
 	Total time.Duration
 	// Err is the failure delivered to the caller ("" on success).
 	Err string
+	// Round is the BSP round the request was fused into (partitioned
+	// deployments only; 0 = not round-executed). Matches a RoundTrace.ID,
+	// so /v1/traces rows can be joined against /v1/rounds.
+	Round uint64
 	// Sampled and Slow report why the trace was recorded.
 	Sampled, Slow bool
 	// Engine is the engine-side per-layer trace of the apply that covered
@@ -135,6 +139,7 @@ type reqTraceJSON struct {
 	Edges        int             `json:"edges,omitempty"`
 	VUps         int             `json:"vertex_updates,omitempty"`
 	Fused        int             `json:"fused,omitempty"`
+	RoundID      string          `json:"round_id,omitempty"`
 	TotalUS      float64         `json:"total_us"`
 	Spans        []spanJSONEntry `json:"spans"`
 	SlowestStage string          `json:"slowest_stage"`
@@ -162,6 +167,9 @@ func (t *ReqTrace) MarshalJSON() ([]byte, error) {
 		Slow:         t.Slow,
 		Engine:       t.Engine,
 	}
+	if t.Round != 0 {
+		out.RoundID = TraceIDString(t.Round)
+	}
 	for _, sp := range t.Spans() {
 		out.Spans = append(out.Spans, spanJSONEntry{Stage: sp.Stage.String(), US: us(sp.D)})
 	}
@@ -176,6 +184,9 @@ func (t *ReqTrace) String() string {
 	s := fmt.Sprintf("req %s %s dG=%d vups=%d fused=%d total=%v slowest=%s",
 		TraceIDString(t.ID), t.Kind, t.Edges, t.VUps, t.Fused,
 		t.Total.Round(time.Microsecond), slowest)
+	if t.Round != 0 {
+		s += " round=" + TraceIDString(t.Round)
+	}
 	for _, sp := range t.Spans() {
 		s += fmt.Sprintf(" %s=%v", sp.Stage, sp.D.Round(time.Microsecond))
 	}

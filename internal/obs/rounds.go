@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Round profiler (DESIGN.md §12): per-BSP-round spans for partitioned
+// serving.
+//
+// A request trace (flight.go) explains one request's latency; it cannot
+// explain why an 8-shard deployment is slower than a 2-shard one, because
+// the cost lives *between* requests — in the barrier-synchronised round the
+// router executes across all shards. A RoundTrace records one round's
+// critical path: the router-side spans (drain/fuse, validate, journal,
+// queue) and then, per barrier stage, the per-shard compute time, the
+// ghost-refresh share of it, and the barrier wait (the gap between a shard
+// finishing and the slowest shard — the straggler — closing the stage).
+// The RoundRecorder keeps the last N rounds in the same lock-light
+// atomic-pointer ring the FlightRecorder uses.
+
+// RoundShardSpan is one shard's slice of one barrier stage.
+type RoundShardSpan struct {
+	// Compute is the shard's wall time inside the stage call
+	// (BeginRound/RoundLayer/FinishRound+publish); Barrier is the stage
+	// makespan minus Compute — the time the shard spent waiting for the
+	// straggler to close the barrier.
+	Compute time.Duration
+	Barrier time.Duration
+	// Ghost is the ghost-row refresh share of Compute (adopting remote
+	// message rows before the layer runs); Events the native events the
+	// shard staged for the stage.
+	Ghost  time.Duration
+	Events int
+}
+
+// RoundStageSpan is one barrier-synchronised stage of a round: the begin
+// stage (sub-batch apply), one entry per layer, and the finish/publish
+// stage. The stage's makespan is the slowest shard — the barrier closes
+// when it finishes.
+type RoundStageSpan struct {
+	// Name is "begin", "layer<k>" or "publish".
+	Name string
+	// Records and Bytes are the merged message-change records broadcast
+	// into this stage for ghost refresh (0 on 1-shard deployments — nothing
+	// crosses a boundary); Broadcast is the router-side merge/sort time
+	// spent producing them.
+	Records   int
+	Bytes     int64
+	Broadcast time.Duration
+	// Makespan is max over Shards of Compute.
+	Makespan time.Duration
+	Shards   []RoundShardSpan
+}
+
+// RoundTrace is the flight record of one BSP round. Written by the router
+// goroutines while the round is in flight and frozen before it is recorded;
+// readers only ever see recorded (immutable) traces.
+type RoundTrace struct {
+	// ID is the round's trace ID, assigned when the round seals. Request
+	// traces covering the round carry the same ID, so /v1/traces and
+	// /v1/rounds can be joined.
+	ID uint64
+	// Start is when the round opened (first request fused in).
+	Start time.Time
+	// Reqs, Edges and VUps size the round: requests fused, directed edge
+	// changes and vertex updates across them.
+	Reqs, Edges, VUps int
+	// Fuse is open→seal on the router goroutine (drain, validate, conflict
+	// checks); Journal the per-shard WAL group commit; Queue the wait
+	// between sealing and the apply goroutine picking the round up.
+	Fuse, Journal, Queue time.Duration
+	// Stages are the barrier stages in execution order.
+	Stages []RoundStageSpan
+	// Records and Bytes total the cross-shard broadcast volume of the
+	// round (all stages).
+	Records int
+	Bytes   int64
+	// Total is open→published (all shards).
+	Total time.Duration
+}
+
+// BSPTime sums the stage makespans — the barrier-synchronised portion of
+// the round.
+func (t *RoundTrace) BSPTime() time.Duration {
+	var d time.Duration
+	for _, st := range t.Stages {
+		d += st.Makespan
+	}
+	return d
+}
+
+// BroadcastTime sums the router-side record merge/sort time between stages.
+func (t *RoundTrace) BroadcastTime() time.Duration {
+	var d time.Duration
+	for _, st := range t.Stages {
+		d += st.Broadcast
+	}
+	return d
+}
+
+// shardComputes returns each shard's total compute across stages (nil for
+// an empty trace).
+func (t *RoundTrace) shardComputes() []time.Duration {
+	if len(t.Stages) == 0 {
+		return nil
+	}
+	out := make([]time.Duration, len(t.Stages[0].Shards))
+	for _, st := range t.Stages {
+		for i, sh := range st.Shards {
+			if i < len(out) {
+				out[i] += sh.Compute
+			}
+		}
+	}
+	return out
+}
+
+// Straggler is the shard with the largest total compute — the one the
+// others waited for. -1 for an empty trace.
+func (t *RoundTrace) Straggler() int {
+	comp := t.shardComputes()
+	if len(comp) == 0 {
+		return -1
+	}
+	best := 0
+	for i, c := range comp {
+		if c > comp[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// StragglerSkew is max/mean shard compute — 1.0 means perfectly balanced
+// stages, 2.0 means the straggler worked twice the average (and everyone
+// else paid the difference as barrier wait).
+func (t *RoundTrace) StragglerSkew() float64 {
+	comp := t.shardComputes()
+	if len(comp) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, c := range comp {
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(comp))
+	return float64(max) / mean
+}
+
+// BarrierShare is the fraction of the round's BSP time the average shard
+// spent blocked on barriers: 1 − mean(shard compute)/BSP time. 0 on a
+// 1-shard deployment (the only shard is always the straggler).
+func (t *RoundTrace) BarrierShare() float64 {
+	bsp := t.BSPTime()
+	comp := t.shardComputes()
+	if bsp <= 0 || len(comp) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, c := range comp {
+		sum += c
+	}
+	mean := float64(sum) / float64(len(comp))
+	share := 1 - mean/float64(bsp)
+	if share < 0 {
+		return 0
+	}
+	return share
+}
+
+type roundShardJSON struct {
+	Shard     int     `json:"shard"`
+	ComputeUS float64 `json:"compute_us"`
+	BarrierUS float64 `json:"barrier_us"`
+	GhostUS   float64 `json:"ghost_us"`
+	Events    int     `json:"events"`
+}
+
+type roundStageJSON struct {
+	Name        string           `json:"stage"`
+	Records     int              `json:"records,omitempty"`
+	Bytes       int64            `json:"bytes,omitempty"`
+	BroadcastUS float64          `json:"broadcast_us"`
+	MakespanUS  float64          `json:"makespan_us"`
+	Shards      []roundShardJSON `json:"shards"`
+}
+
+type roundTraceJSON struct {
+	RoundID       string           `json:"round_id"`
+	Start         time.Time        `json:"start"`
+	Reqs          int              `json:"requests"`
+	Edges         int              `json:"edges,omitempty"`
+	VUps          int              `json:"vertex_updates,omitempty"`
+	FuseUS        float64          `json:"fuse_us"`
+	JournalUS     float64          `json:"journal_us"`
+	QueueUS       float64          `json:"queue_us"`
+	BSPUS         float64          `json:"bsp_us"`
+	BroadcastUS   float64          `json:"broadcast_us"`
+	TotalUS       float64          `json:"total_us"`
+	Records       int              `json:"records"`
+	Bytes         int64            `json:"bytes"`
+	Straggler     int              `json:"straggler"`
+	BarrierShare  float64          `json:"barrier_share"`
+	StragglerSkew float64          `json:"straggler_skew"`
+	Stages        []roundStageJSON `json:"stages"`
+}
+
+// MarshalJSON renders the round trace for GET /v1/rounds: the router spans,
+// the whole-round attribution (straggler, barrier share, skew) and the
+// per-stage per-shard breakdown.
+func (t *RoundTrace) MarshalJSON() ([]byte, error) {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	out := roundTraceJSON{
+		RoundID:       TraceIDString(t.ID),
+		Start:         t.Start,
+		Reqs:          t.Reqs,
+		Edges:         t.Edges,
+		VUps:          t.VUps,
+		FuseUS:        us(t.Fuse),
+		JournalUS:     us(t.Journal),
+		QueueUS:       us(t.Queue),
+		BSPUS:         us(t.BSPTime()),
+		BroadcastUS:   us(t.BroadcastTime()),
+		TotalUS:       us(t.Total),
+		Records:       t.Records,
+		Bytes:         t.Bytes,
+		Straggler:     t.Straggler(),
+		BarrierShare:  t.BarrierShare(),
+		StragglerSkew: t.StragglerSkew(),
+	}
+	for _, st := range t.Stages {
+		sj := roundStageJSON{
+			Name:        st.Name,
+			Records:     st.Records,
+			Bytes:       st.Bytes,
+			BroadcastUS: us(st.Broadcast),
+			MakespanUS:  us(st.Makespan),
+			Shards:      make([]roundShardJSON, len(st.Shards)),
+		}
+		for i, sh := range st.Shards {
+			sj.Shards[i] = roundShardJSON{
+				Shard:     i,
+				ComputeUS: us(sh.Compute),
+				BarrierUS: us(sh.Barrier),
+				GhostUS:   us(sh.Ghost),
+				Events:    sh.Events,
+			}
+		}
+		out.Stages = append(out.Stages, sj)
+	}
+	return json.Marshal(out)
+}
+
+// RoundRecorder keeps the last N round traces in a lock-free ring (the
+// FlightRecorder layout: one atomic counter bump plus one atomic pointer
+// store per round; readers snapshot the slots without blocking the apply
+// goroutine).
+type RoundRecorder struct {
+	seq      atomic.Uint64
+	widx     atomic.Uint64
+	slots    []atomic.Pointer[RoundTrace]
+	recorded atomic.Int64
+}
+
+// NewRoundRecorder builds a recorder holding the last size rounds.
+func NewRoundRecorder(size int) *RoundRecorder {
+	if size < 1 {
+		size = 1
+	}
+	return &RoundRecorder{slots: make([]atomic.Pointer[RoundTrace], size)}
+}
+
+// NextID assigns the next round ID (starting at 1).
+func (r *RoundRecorder) NextID() uint64 { return r.seq.Add(1) }
+
+// Record publishes one finished round into the ring. The trace must not be
+// mutated afterwards.
+func (r *RoundRecorder) Record(t *RoundTrace) {
+	i := r.widx.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+	r.recorded.Add(1)
+}
+
+// Recorded returns the number of rounds recorded so far (including those
+// evicted from the ring).
+func (r *RoundRecorder) Recorded() int64 { return r.recorded.Load() }
+
+// Last returns the most recently recorded round (nil before the first).
+func (r *RoundRecorder) Last() *RoundTrace {
+	w := r.widx.Load()
+	if w == 0 {
+		return nil
+	}
+	return r.slots[(w-1)%uint64(len(r.slots))].Load()
+}
+
+// Traces snapshots the ring, newest first.
+func (r *RoundRecorder) Traces() []*RoundTrace {
+	n := uint64(len(r.slots))
+	w := r.widx.Load()
+	out := make([]*RoundTrace, 0, n)
+	count := w
+	if count > n {
+		count = n
+	}
+	for k := uint64(1); k <= count; k++ {
+		if t := r.slots[(w-k)%n].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

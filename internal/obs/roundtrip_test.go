@@ -124,6 +124,98 @@ func TestRegistryParserRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRoundAndAlertFamiliesRoundTrip extends the exposition contract to the
+// PR-7 families: the round-duration histogram with a round-ID exemplar, the
+// per-shard straggler counter, the attribution gauges, and everything the
+// alert engine registers.
+func TestRoundAndAlertFamiliesRoundTrip(t *testing.T) {
+	r := NewRegistry()
+
+	rd := NewLatencyHistogram()
+	rd.EnableExemplars()
+	rd.ObserveDuration(2 * time.Millisecond)
+	rd.ObserveDuration(18 * time.Millisecond)
+	roundID := uint64(0x51)
+	rd.Exemplar((18 * time.Millisecond).Nanoseconds(), roundID)
+	r.Histogram("inkstream_round_duration_seconds", "Round open-to-published duration.", 1e-9, rd)
+
+	r.CounterFunc("inkstream_round_barrier_wait_seconds_total", "Mean per-shard barrier wait.", func() float64 { return 1.25 })
+	r.CounterFunc("inkstream_round_compute_seconds_total", "Mean per-shard compute.", func() float64 { return 3.75 })
+	r.CounterFunc("inkstream_round_broadcast_seconds_total", "Router-side broadcast merge.", func() float64 { return 0.5 })
+	r.GaugeFunc("inkstream_round_barrier_share", "Last round barrier share.", func() float64 { return 0.42 })
+	r.GaugeFunc("inkstream_round_straggler_skew", "Last round straggler skew.", func() float64 { return 1.7 })
+	r.LabeledCounterFunc("inkstream_shard_straggler_rounds_total", "Rounds each shard straggled.", func() []LabeledValue {
+		return SortedLabeled("shard", map[string]int64{"0": 3, "1": 9})
+	})
+
+	sampler := NewSampler(time.Second, 16)
+	lat := 0.0
+	sampler.Gauge("ack_p99_ms", func() float64 { return lat })
+	eng := NewAlertEngine(sampler)
+	eng.SetRules(DefaultBurnRateRules("ack_p99_ms", 5)...)
+	eng.Register(r)
+	lat = 50
+	for i := 0; i < 4; i++ {
+		sampler.Tick()
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+
+	if v, ok := samples.Get("inkstream_round_duration_seconds_count"); !ok || v != 2 {
+		t.Errorf("round duration count: got %v ok=%v", v, ok)
+	}
+	var found int
+	for _, s := range samples.Family("inkstream_round_duration_seconds_bucket") {
+		if s.Exemplar == nil {
+			continue
+		}
+		found++
+		if id := s.Exemplar.TraceID(); id != TraceIDString(roundID) {
+			t.Errorf("round exemplar trace_id %q, want %q", id, TraceIDString(roundID))
+		}
+		if want := 0.018; math.Abs(s.Exemplar.Value-want) > 1e-12 {
+			t.Errorf("round exemplar value %v, want %v", s.Exemplar.Value, want)
+		}
+	}
+	if found != 1 {
+		t.Errorf("found %d round exemplars, want 1", found)
+	}
+
+	if v, ok := samples.Get("inkstream_round_barrier_wait_seconds_total"); !ok || v != 1.25 {
+		t.Errorf("barrier wait: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_round_barrier_share"); !ok || v != 0.42 {
+		t.Errorf("barrier share: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_shard_straggler_rounds_total", "shard", "1"); !ok || v != 9 {
+		t.Errorf("straggler rounds: got %v ok=%v", v, ok)
+	}
+
+	// Alert families: the fast rule fires after two all-bad evals, so four
+	// ticks of breached latency must expose a firing count and per-alert
+	// state/burn samples that survive the round trip.
+	if v, ok := samples.Get("inkstream_alerts_firing"); !ok || v < 1 {
+		t.Errorf("alerts firing: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_alert_evals_total"); !ok || v != 4 {
+		t.Errorf("alert evals: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_alert_state", "alert", "ack_p99_ms-slo-fast"); !ok || v != float64(AlertFiring) {
+		t.Errorf("fast alert state: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_alert_burn_rate", "alert", "ack_p99_ms-slo-fast", "window", "12"); !ok || v <= 10 {
+		t.Errorf("fast alert burn: got %v ok=%v", v, ok)
+	}
+}
+
 // TestParseExemplarErrors: malformed exemplar annotations must be rejected,
 // not silently dropped.
 func TestParseExemplarErrors(t *testing.T) {

@@ -22,6 +22,7 @@ type Sampler struct {
 	mu     sync.Mutex
 	series []*tsSeries
 	ticks  uint64
+	hooks  []func()
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -148,16 +149,30 @@ func (s *Sampler) Stop() {
 	<-s.done
 }
 
-// Tick advances every series by one sample. Exported so tests (and servers
-// without a background ticker) can drive the sampler deterministically.
-func (s *Sampler) Tick() {
+// OnTick registers fn to run after every Tick, outside the sampler lock —
+// hooks may call back into the sampler (the alert engine evaluates its
+// windows this way). Register before Start.
+func (s *Sampler) OnTick(fn func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
+// Tick advances every series by one sample, then runs the OnTick hooks.
+// Exported so tests (and servers without a background ticker) can drive the
+// sampler deterministically.
+func (s *Sampler) Tick() {
+	s.mu.Lock()
 	i := int(s.ticks % uint64(s.size))
 	for _, ser := range s.series {
 		ser.ring[i] = ser.sample()
 	}
 	s.ticks++
+	hooks := s.hooks
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Last returns the most recent sample of the named series (ok=false before
@@ -207,6 +222,34 @@ func (s *Sampler) MaxRecent(name string, n int) (float64, bool) {
 		return best, true
 	}
 	return 0, false
+}
+
+// CountAbove returns how many of the last n samples of the named series
+// exceed threshold, along with how many samples the window actually holds
+// (have ≤ n before the ring fills). ok=false for an unknown name. The
+// burn-rate alert engine treats over/have as the window's error fraction.
+func (s *Sampler) CountAbove(name string, n int, threshold float64) (over, have int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ser := range s.series {
+		if ser.name != name {
+			continue
+		}
+		have = int(s.ticks)
+		if have > s.size {
+			have = s.size
+		}
+		if n < have {
+			have = n
+		}
+		for k := 0; k < have; k++ {
+			if ser.ring[int((s.ticks-1-uint64(k))%uint64(s.size))] > threshold {
+				over++
+			}
+		}
+		return over, have, true
+	}
+	return 0, 0, false
 }
 
 // TSSeries is one series of a snapshot, oldest sample first.

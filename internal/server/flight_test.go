@@ -421,3 +421,73 @@ func BenchmarkPipelineFlightRecorder(b *testing.B) {
 		})
 	}
 }
+
+// TestServerSLOAlerts drives the burn-rate alert engine through the
+// single-engine server: SetHealthSLO installs the fast/slow rule pair,
+// sustained breaches fire, /v1/alerts serves the status, /healthz folds the
+// firing alerts into its reasons, and clearing the SLO resolves everything.
+// Unknown /v1/* paths get a typed JSON 404.
+func TestServerSLOAlerts(t *testing.T) {
+	srv, eng := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	srv.SetHealthSLO(time.Nanosecond)
+	if got := len(srv.Alerts().Rules()); got != 2 {
+		t.Fatalf("SetHealthSLO installed %d rules, want 2", got)
+	}
+	edges := absentEdges(t, eng.Graph(), 4)
+	for _, e := range edges {
+		if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		srv.Sampler().Tick()
+	}
+	if got := srv.Alerts().Firing(); len(got) == 0 {
+		t.Fatal("no alert firing after sustained SLO breaches")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts obs.AlertsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&alerts); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if alerts.Firing == 0 || len(alerts.Alerts) != 2 {
+		t.Fatalf("alerts response %+v", alerts)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HealthzResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if h.Status != "degraded" || len(h.AlertsFiring) == 0 {
+		t.Fatalf("healthz under fire: %+v", h)
+	}
+
+	srv.SetHealthSLO(0)
+	if got := srv.Alerts().Firing(); len(got) != 0 {
+		t.Fatalf("alerts survive SLO removal: %v", got)
+	}
+
+	nresp, err := http.Get(ts.URL + "/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errBody map[string]string
+	if err := json.NewDecoder(nresp.Body).Decode(&errBody); err != nil || errBody["error"] == "" {
+		t.Fatalf("unknown /v1 path body not typed JSON: %v %v", errBody, err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown /v1 path: %d", nresp.StatusCode)
+	}
+}

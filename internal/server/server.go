@@ -98,6 +98,7 @@ type Server struct {
 	flight  *obs.FlightRecorder
 	ackLat  *obs.Histogram
 	sampler *obs.Sampler
+	alerts  *obs.AlertEngine
 	started time.Time
 	sloNS   atomic.Int64 // healthz ack-p99 SLO in ns (0 = disabled)
 
@@ -155,6 +156,11 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	s.obs.UpdateLatency.EnableExemplars()
 	s.audit = newAuditState()
 	s.driftHists = driftHistograms(engine.Model())
+	// In-process time-series: 1s resolution, 10-minute window. The alert
+	// engine evaluates its burn-rate rules on every tick (alerts are
+	// installed by SetHealthSLO).
+	s.sampler = obs.NewSampler(time.Second, 600)
+	s.alerts = obs.NewAlertEngine(s.sampler)
 	s.reg = obs.NewRegistry()
 	s.buildRegistry()
 	// Epoch 1 reflects the bootstrapped state, so readers always have a
@@ -163,8 +169,6 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	s.submitCh = make(chan *updateReq, 4*maxGroup)
 	s.applyCh = make(chan []*updateReq, 1)
 	s.quit = make(chan struct{})
-	// In-process time-series: 1s resolution, 10-minute window.
-	s.sampler = obs.NewSampler(time.Second, 600)
 	s.buildTimeseries()
 	s.sampler.Start()
 	s.start()
@@ -339,6 +343,7 @@ func (s *Server) buildRegistry() {
 	r.HistogramVec("inkstream_drift_abs",
 		"Per-audit max abs drift, labeled by the model's aggregator kind (accumulative kinds drift; monotonic kinds should sit in the lowest bucket).",
 		1e-9, s.driftHists)
+	s.alerts.Register(r)
 }
 
 // SetCoalescing switches server-side update coalescing (coalesce.go) on or
@@ -428,9 +433,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/timeseries", s.handleTimeseries)
+	mux.Handle("GET /v1/alerts", s.alerts)
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	// Unknown /v1/* paths get a typed JSON 404 instead of the mux's plain
+	// text (known paths with the wrong method also land here; the body
+	// names the path so either mistake is diagnosable).
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no %s %s endpoint", r.Method, r.URL.Path)
+	})
 	return mux
 }
 
@@ -720,8 +732,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // SetHealthSLO sets the ack-latency p99 objective the health check enforces:
 // when the windowed p99 (max over the last ~10 time-series ticks) exceeds
-// slo, /healthz reports degraded. 0 disables the criterion (the default).
-func (s *Server) SetHealthSLO(slo time.Duration) { s.sloNS.Store(slo.Nanoseconds()) }
+// slo, /healthz reports degraded. It also installs the standard fast/slow
+// burn-rate alert pair over the windowed ack p99 series (GET /v1/alerts);
+// firing alerts degrade /healthz too. 0 disables both (the default).
+func (s *Server) SetHealthSLO(slo time.Duration) {
+	s.sloNS.Store(slo.Nanoseconds())
+	if s.alerts == nil {
+		return
+	}
+	if slo <= 0 {
+		s.alerts.SetRules()
+		return
+	}
+	s.alerts.SetRules(obs.DefaultBurnRateRules("ack_p99_ms", float64(slo)/1e6)...)
+}
+
+// Alerts exposes the burn-rate alert engine.
+func (s *Server) Alerts() *obs.AlertEngine { return s.alerts }
 
 // HealthzResponse is the body of GET /healthz (and /v1/healthz).
 type HealthzResponse struct {
@@ -729,14 +756,21 @@ type HealthzResponse struct {
 	// degraded means "serving but out of spec" (drift audit failing, ack
 	// p99 over SLO), which is an alerting condition, not an unreachability
 	// one; Reasons lists what degraded it.
-	Status        string   `json:"status"`
-	UptimeSeconds float64  `json:"uptime_seconds"`
-	Epoch         uint64   `json:"epoch"`
-	AckP99MS      float64  `json:"ack_p99_ms"`
-	SLOMS         float64  `json:"slo_ms,omitempty"`
-	DriftMaxAbs   float64  `json:"drift_max_abs"`
-	AuditFailures int64    `json:"audit_failures"`
-	Reasons       []string `json:"reasons,omitempty"`
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Shards and EpochSkew are populated by the shard router, which serves
+	// this same schema for deployment-shape parity (1 for a single engine).
+	Shards        int     `json:"shards,omitempty"`
+	Epoch         uint64  `json:"epoch"`
+	EpochSkew     uint64  `json:"epoch_skew,omitempty"`
+	AckP99MS      float64 `json:"ack_p99_ms"`
+	SLOMS         float64 `json:"slo_ms,omitempty"`
+	DriftMaxAbs   float64 `json:"drift_max_abs"`
+	AuditFailures int64   `json:"audit_failures"`
+	// AlertsFiring names the burn-rate alerts currently firing; their
+	// human-readable reasons are folded into Reasons.
+	AlertsFiring []string `json:"alerts_firing,omitempty"`
+	Reasons      []string `json:"reasons,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -766,6 +800,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		reasons = append(reasons, fmt.Sprintf(
 			"drift audit failing: max abs drift %g over tolerance %g",
 			resp.DriftMaxAbs, s.audit.tol))
+	}
+	if s.alerts != nil {
+		resp.AlertsFiring = s.alerts.Firing()
+		reasons = append(reasons, s.alerts.FiringReasons()...)
 	}
 	if len(reasons) > 0 {
 		resp.Status = "degraded"

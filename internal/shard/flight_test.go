@@ -1,0 +1,406 @@
+package shard
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gnn"
+	"repro/internal/graph"
+	"repro/internal/inkstream"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/tensor"
+)
+
+// newProfiledRouter builds a small SAGE deployment with every-request trace
+// sampling, so each Apply leaves both a request trace and a round profile.
+func newProfiledRouter(t testing.TB, shards int) (*Router, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(301))
+	const n, featLen = 48, 5
+	g := testGraph(rng, n, 120)
+	x := tensor.RandMatrix(rng, n, featLen, 1)
+	model := testModel(rng, "SAGE", featLen, gnn.AggMean)
+	rt, err := New(model, g, x, Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	rt.SetTraceSampling(64, 1)
+	return rt, g
+}
+
+// driveUpdates applies count single-edge inserts (each its own round) plus
+// one trailing feature update, all of which must succeed.
+func driveUpdates(t testing.TB, rt *Router, g *graph.Graph, count int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(302))
+	n := g.NumNodes()
+	applied := 0
+	for applied < count {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		delta := graph.Delta{{U: u, V: v, Insert: true}}
+		if err := rt.Apply(delta, nil); err != nil {
+			t.Fatalf("apply %d: %v", applied, err)
+		}
+		if err := delta.Apply(g); err != nil { // keep the mirror in sync
+			t.Fatal(err)
+		}
+		applied++
+	}
+	vups := []inkstream.VertexUpdate{{Node: 3, X: tensor.RandVector(rng, 5, 1)}}
+	if err := rt.Apply(nil, vups); err != nil {
+		t.Fatalf("feature update: %v", err)
+	}
+}
+
+// TestRouterRoundProfiler pins the tentpole: every round leaves a trace
+// whose stages cover begin, each layer and publish, with per-shard
+// compute/barrier spans that satisfy the makespan identity, a named
+// straggler, and cumulative attribution in /v1/stats.
+func TestRouterRoundProfiler(t *testing.T) {
+	rt, g := newProfiledRouter(t, 2)
+	driveUpdates(t, rt, g, 5)
+
+	p := rt.RoundProfiler()
+	if p == nil {
+		t.Fatal("profiler disabled by default")
+	}
+	if got := p.Recorded(); got < 6 {
+		t.Fatalf("recorded %d rounds, want >= 6", got)
+	}
+	layers := rt.model.NumLayers()
+	for _, tr := range p.Traces() {
+		if len(tr.Stages) != layers+2 {
+			t.Fatalf("round %d has %d stages, want %d", tr.ID, len(tr.Stages), layers+2)
+		}
+		if tr.Stages[0].Name != "begin" || tr.Stages[len(tr.Stages)-1].Name != "publish" {
+			t.Fatalf("stage names %q ... %q", tr.Stages[0].Name, tr.Stages[len(tr.Stages)-1].Name)
+		}
+		for _, st := range tr.Stages {
+			if len(st.Shards) != 2 {
+				t.Fatalf("stage %s has %d shard spans", st.Name, len(st.Shards))
+			}
+			for i, sh := range st.Shards {
+				if sh.Compute < 0 || sh.Compute > st.Makespan {
+					t.Fatalf("stage %s shard %d: compute %v outside [0, makespan %v]", st.Name, i, sh.Compute, st.Makespan)
+				}
+				if sh.Barrier != st.Makespan-sh.Compute {
+					t.Fatalf("stage %s shard %d: barrier %v != makespan - compute", st.Name, i, sh.Barrier)
+				}
+			}
+		}
+		if s := tr.Straggler(); s < 0 || s >= 2 {
+			t.Fatalf("straggler %d out of range", s)
+		}
+		if sk := tr.StragglerSkew(); sk < 1 {
+			t.Fatalf("straggler skew %g < 1", sk)
+		}
+		if bs := tr.BarrierShare(); bs < 0 || bs > 1 {
+			t.Fatalf("barrier share %g outside [0,1]", bs)
+		}
+		if tr.Total <= 0 || tr.BSPTime() <= 0 {
+			t.Fatalf("round %d: total %v, bsp %v", tr.ID, tr.Total, tr.BSPTime())
+		}
+	}
+
+	stats := rt.Stats()
+	rp := stats.RoundProfile
+	if rp == nil {
+		t.Fatal("stats carry no round profile")
+	}
+	if rp.Rounds < 6 {
+		t.Fatalf("profile covers %d rounds, want >= 6", rp.Rounds)
+	}
+	if rp.Straggler < 0 || rp.Straggler >= 2 || len(rp.StragglerRounds) != 2 {
+		t.Fatalf("straggler attribution %+v", rp)
+	}
+	var sum int64
+	for _, c := range rp.StragglerRounds {
+		sum += c
+	}
+	if sum != rp.Rounds {
+		t.Fatalf("straggler rounds sum %d != rounds %d", sum, rp.Rounds)
+	}
+	if rp.BarrierShare < 0 || rp.BarrierShare > 1 {
+		t.Fatalf("cumulative barrier share %g", rp.BarrierShare)
+	}
+	if rp.MeanStragglerSkew < 1 {
+		t.Fatalf("mean straggler skew %g < 1", rp.MeanStragglerSkew)
+	}
+
+	// Request traces join to rounds via the round ID.
+	roundIDs := map[uint64]bool{}
+	for _, tr := range p.Traces() {
+		roundIDs[tr.ID] = true
+	}
+	traces := rt.FlightRecorder().Traces()
+	if len(traces) == 0 {
+		t.Fatal("no request traces with 1-in-1 sampling")
+	}
+	for _, tr := range traces {
+		if tr.Round == 0 || !roundIDs[tr.Round] {
+			t.Fatalf("trace %d carries round %d, not in the profiler ring", tr.ID, tr.Round)
+		}
+	}
+}
+
+// TestRouterProfilingDisabled pins the off switch: no round traces, no
+// stats slice, and /v1/rounds answers 501 instead of an empty ring.
+func TestRouterProfilingDisabled(t *testing.T) {
+	rt, g := newProfiledRouter(t, 2)
+	rt.SetRoundProfiling(0)
+	driveUpdates(t, rt, g, 2)
+	if rt.RoundProfiler() != nil {
+		t.Fatal("profiler survived SetRoundProfiling(0)")
+	}
+	if rp := rt.Stats().RoundProfile; rp != nil {
+		t.Fatalf("stats carry a round profile with profiling off: %+v", rp)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("/v1/rounds with profiling off: %d, want 501", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d (%s)", url, resp.StatusCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("GET %s: decoding %q: %v", url, body, err)
+		}
+	}
+	return string(body)
+}
+
+// TestRouterObservabilityEndpoints drives the sharded serving surface end
+// to end: /v1/rounds names a straggler and carries per-shard spans,
+// /v1/traces carries round IDs and honors the single-engine filters,
+// /v1/timeseries and /v1/alerts answer, /healthz serves the single-engine
+// schema with the shard fields filled in, and unknown /v1/* paths get a
+// typed JSON 404.
+func TestRouterObservabilityEndpoints(t *testing.T) {
+	rt, g := newProfiledRouter(t, 2)
+	driveUpdates(t, rt, g, 4)
+	rt.Sampler().Tick()
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+
+	var rounds RoundsResponse
+	body := getJSON(t, ts.URL+"/v1/rounds", &rounds)
+	if rounds.Recorded < 5 || rounds.Shards != 2 || len(rounds.Rounds) < 5 {
+		t.Fatalf("rounds response: recorded=%d shards=%d len=%d", rounds.Recorded, rounds.Shards, len(rounds.Rounds))
+	}
+	for _, key := range []string{`"round_id"`, `"straggler"`, `"barrier_share"`, `"bsp_us"`, `"compute_us"`, `"barrier_us"`, `"stage":"begin"`, `"stage":"publish"`} {
+		if !strings.Contains(body, key) {
+			t.Fatalf("/v1/rounds body missing %s:\n%s", key, body)
+		}
+	}
+	var one RoundsResponse
+	getJSON(t, ts.URL+"/v1/rounds?n=1", &one)
+	if len(one.Rounds) != 1 {
+		t.Fatalf("n=1 returned %d rounds", len(one.Rounds))
+	}
+	var none RoundsResponse
+	getJSON(t, ts.URL+"/v1/rounds?min_us=1000000000", &none)
+	if len(none.Rounds) != 0 {
+		t.Fatalf("min_us=1e9 returned %d rounds", len(none.Rounds))
+	}
+
+	var traces struct {
+		SampleEvery int `json:"sample_every"`
+		Recorded    int64
+		Traces      []map[string]any `json:"traces"`
+	}
+	body = getJSON(t, ts.URL+"/v1/traces", &traces)
+	if traces.SampleEvery != 1 || len(traces.Traces) == 0 {
+		t.Fatalf("traces response: every=%d len=%d", traces.SampleEvery, len(traces.Traces))
+	}
+	if !strings.Contains(body, `"round_id"`) {
+		t.Fatalf("/v1/traces body missing round_id:\n%s", body)
+	}
+	var capped struct {
+		Traces []map[string]any `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/v1/traces?n=2", &capped)
+	if len(capped.Traces) != 2 {
+		t.Fatalf("n=2 returned %d traces", len(capped.Traces))
+	}
+
+	var snap obs.TSSnapshot
+	getJSON(t, ts.URL+"/v1/timeseries", &snap)
+	names := map[string]bool{}
+	for _, s := range snap.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"upd_per_s", "ack_p99_ms", "round_p99_ms", "epoch_skew", "barrier_share"} {
+		if !names[want] {
+			t.Fatalf("timeseries missing %q (have %v)", want, names)
+		}
+	}
+
+	var alerts obs.AlertsResponse
+	getJSON(t, ts.URL+"/v1/alerts", &alerts)
+	if alerts.Firing != 0 {
+		t.Fatalf("alerts firing with no SLO set: %+v", alerts)
+	}
+
+	var hz server.HealthzResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.Shards != 2 || hz.Epoch == 0 {
+		t.Fatalf("healthz %+v", hz)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/nonsense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown /v1 path: %d", resp.StatusCode)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(nf, &errBody); err != nil || errBody["error"] == "" {
+		t.Fatalf("unknown /v1 path body %q not typed JSON", nf)
+	}
+
+	metrics := getJSON(t, ts.URL+"/metrics", nil)
+	for _, fam := range []string{
+		"inkstream_round_duration_seconds",
+		"inkstream_round_barrier_wait_seconds_total",
+		"inkstream_round_compute_seconds_total",
+		"inkstream_shard_straggler_rounds_total",
+		"inkstream_alerts_firing",
+	} {
+		if !strings.Contains(metrics, fam) {
+			t.Fatalf("/metrics missing %s", fam)
+		}
+	}
+}
+
+// TestRouterSLOBurnRate drives the alert lifecycle through the router: a
+// sub-microsecond SLO makes every tick's windowed ack p99 a breach, the
+// fast burn-rate rule fires after its hold, and /healthz degrades naming
+// the alert. Clearing the SLO resolves everything.
+func TestRouterSLOBurnRate(t *testing.T) {
+	rt, g := newProfiledRouter(t, 1)
+	rt.SetHealthSLO(time.Nanosecond)
+
+	for i := 0; i < 4; i++ {
+		driveUpdates(t, rt, g, 1)
+		rt.Sampler().Tick()
+	}
+	firing := rt.Alerts().Firing()
+	if len(firing) == 0 {
+		t.Fatal("no alert firing after sustained SLO breaches")
+	}
+
+	ts := httptest.NewServer(rt.Handler())
+	defer ts.Close()
+	var hz server.HealthzResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "degraded" || len(hz.AlertsFiring) == 0 {
+		t.Fatalf("healthz under fire: %+v", hz)
+	}
+	var alerts obs.AlertsResponse
+	getJSON(t, ts.URL+"/v1/alerts", &alerts)
+	if alerts.Firing == 0 || len(alerts.Alerts) == 0 {
+		t.Fatalf("alerts response %+v", alerts)
+	}
+
+	rt.SetHealthSLO(0)
+	if got := rt.Alerts().Firing(); len(got) != 0 {
+		t.Fatalf("alerts survive SLO removal: %v", got)
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" {
+		t.Fatalf("healthz after SLO removal: %+v", hz)
+	}
+}
+
+// BenchmarkRouterRoundProfiler measures the profiler tax on the full
+// submit→ack round pipeline of a 2-shard deployment: profiling and request
+// tracing fully off vs the serving defaults (256-round ring, 256-trace ring
+// with 1-in-64 sampling). scripts/obs_overhead.sh gates the paired delta
+// at <5%.
+func BenchmarkRouterRoundProfiler(b *testing.B) {
+	const n = 512
+	for _, cfg := range []struct {
+		name string
+		on   bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(77))
+			g := testGraph(rng, n, 3*n)
+			x := tensor.RandMatrix(rng, n, 8, 1)
+			model := testModel(rng, "SAGE", 8, gnn.AggMean)
+			rt, err := New(model, g, x, Config{Shards: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			if cfg.on {
+				rt.SetRoundProfiling(256)
+				rt.SetTraceSampling(256, 64)
+			} else {
+				rt.SetRoundProfiling(0)
+				rt.SetTraceSampling(0, 0)
+			}
+			seen := map[[2]graph.NodeID]bool{}
+			var ins, del graph.Delta
+			for len(ins) < 16 {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				if u == v || g.HasEdge(u, v) || seen[[2]graph.NodeID{u, v}] || seen[[2]graph.NodeID{v, u}] {
+					continue
+				}
+				seen[[2]graph.NodeID{u, v}] = true
+				ins = append(ins, graph.EdgeChange{U: u, V: v, Insert: true})
+				del = append(del, graph.EdgeChange{U: u, V: v, Insert: false})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ins
+				if i%2 == 1 {
+					d = del
+				}
+				if err := rt.Apply(d, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

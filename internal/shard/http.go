@@ -15,9 +15,10 @@ import (
 
 // Handler returns the router's route table. The wire formats of the
 // endpoints shared with the single-engine server (update, features,
-// embedding) are identical — server.UpdateRequest and friends — so clients
-// and inkstat work against either deployment shape; /v1/stats carries the
-// shard-aware StatsResponse instead.
+// embedding, traces, timeseries, alerts, healthz) are identical —
+// server.UpdateRequest and friends — so clients and inkstat work against
+// either deployment shape; /v1/stats carries the shard-aware StatsResponse
+// instead, and /v1/rounds is router-only (BSP round profiles).
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/update", rt.handleUpdate)
@@ -26,7 +27,17 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /v1/traces", rt.handleTraces)
+	mux.HandleFunc("GET /v1/timeseries", rt.handleTimeseries)
+	mux.HandleFunc("GET /v1/rounds", rt.handleRounds)
+	mux.Handle("GET /v1/alerts", rt.alerts)
 	mux.Handle("GET /metrics", rt.reg.Handler())
+	// Unknown /v1/* paths get a typed JSON 404 instead of the mux's plain
+	// text (known paths with the wrong method also land here; the body
+	// names the path so either mistake is diagnosable).
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no %s %s endpoint", r.Method, r.URL.Path)
+	})
 	return mux
 }
 
@@ -119,29 +130,46 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, stats)
 }
 
-// HealthzResponse is the router's GET /healthz body. Status "degraded"
-// means writes are fail-stopped after a round failure; reads still serve.
-type HealthzResponse struct {
-	Status        string   `json:"status"`
-	UptimeSeconds float64  `json:"uptime_seconds"`
-	Shards        int      `json:"shards"`
-	Epoch         uint64   `json:"epoch"`
-	EpochSkew     uint64   `json:"epoch_skew"`
-	Reasons       []string `json:"reasons,omitempty"`
-}
-
+// handleHealthz serves server.HealthzResponse — the single-engine schema,
+// shards and epoch skew filled in — so probes and dashboards read either
+// deployment shape identically. Status "degraded" means serving but out of
+// spec: writes fail-stopped after a round failure, ack p99 over SLO, or a
+// burn-rate alert firing. The drift-audit fields stay zero (the router has
+// no shadow auditor).
 func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	lo, hi := rt.epochs()
-	resp := HealthzResponse{
+	resp := server.HealthzResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(rt.started).Seconds(),
 		Shards:        len(rt.shards),
 		Epoch:         lo,
 		EpochSkew:     hi - lo,
 	}
+	var reasons []string
 	if rt.corrupt.Load() {
+		reasons = append(reasons, "writes fail-stopped after a failed round; reads serve the last published snapshots")
+	}
+	if rt.sampler != nil {
+		// Max over the last ~10 ticks so one quiet second cannot mask a
+		// breached SLO between scrapes.
+		if v, ok := rt.sampler.MaxRecent("ack_p99_ms", 10); ok {
+			resp.AckP99MS = v
+		}
+	}
+	if slo := time.Duration(rt.sloNS.Load()); slo > 0 {
+		resp.SLOMS = float64(slo) / 1e6
+		if resp.AckP99MS > resp.SLOMS {
+			reasons = append(reasons, fmt.Sprintf(
+				"ack p99 %.3fms over SLO %.3fms", resp.AckP99MS, resp.SLOMS))
+		}
+	}
+	if rt.alerts != nil {
+		resp.AlertsFiring = rt.alerts.Firing()
+		reasons = append(reasons, rt.alerts.FiringReasons()...)
+	}
+	if len(reasons) > 0 {
 		resp.Status = "degraded"
-		resp.Reasons = append(resp.Reasons, "writes fail-stopped after a failed round; reads serve the last published snapshots")
+		resp.Reasons = reasons
 	}
 	writeJSON(w, resp)
 }

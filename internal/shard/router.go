@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,15 @@ type request struct {
 	vups    []inkstream.VertexUpdate
 	done    chan error
 	start   time.Time
+
+	// Flight-recorder identity (flight.go): id 0 means request tracing is
+	// off and no stage mark is ever taken. round is the BSP round the
+	// request was fused into, joining its trace to /v1/rounds.
+	id      uint64
+	sampled bool
+	kind    string
+	round   uint64
+	marks   [obs.StageCount]time.Duration
 }
 
 // round is one sealed BSP round: the fused requests plus the per-shard
@@ -91,6 +101,12 @@ type round struct {
 	reqs     []*request
 	subDelta []graph.Delta
 	subVups  [][]inkstream.VertexUpdate
+
+	// prof is the round's profiler trace (nil with profiling off and for
+	// recovery replays); sealed is when the router goroutine handed the
+	// round to the apply loop (the queue-wait anchor).
+	prof   *obs.RoundTrace
+	sealed time.Time
 }
 
 // shardState is one engine shard with its private counters and WAL.
@@ -141,6 +157,32 @@ type Router struct {
 	reg           *obs.Registry
 	started       time.Time
 
+	// Observability (flight.go): the PR-5 serving stack at round
+	// granularity — request flight recorder, BSP round profiler,
+	// in-process time-series sampler and the burn-rate alert engine.
+	flight   *obs.FlightRecorder
+	profiler *obs.RoundRecorder
+	roundDur *obs.Histogram // round open→published, exemplified by round ID
+	roundSeq atomic.Uint64  // round IDs (assigned at seal, profiling or not)
+	sampler  *obs.Sampler
+	alerts   *obs.AlertEngine
+	sloNS    atomic.Int64 // healthz ack-p99 SLO in ns (0 = disabled)
+
+	// Cumulative critical-path attribution, accumulated per profiled
+	// round (flight.go): compute/barrier are per-shard means so
+	// computeNS+barrierNS ≈ bspNS, and stragglerRounds[i] counts the
+	// rounds shard i was the straggler of. last* hold the most recent
+	// round's attribution as Float64bits.
+	profiled         atomic.Int64
+	computeNS        atomic.Int64
+	barrierNS        atomic.Int64
+	broadcastNS      atomic.Int64
+	bspNS            atomic.Int64
+	skewMilli        atomic.Int64 // cumulative straggler skew × 1000
+	stragglerRounds  []atomic.Int64
+	lastBarrierShare atomic.Uint64
+	lastSkew         atomic.Uint64
+
 	// recBuf is the applyLoop's reusable merged-record buffer.
 	recBuf []inkstream.MessageChange
 }
@@ -184,8 +226,17 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 		recSize:    obs.NewSizeHistogram(),
 		coSize:     obs.NewSizeHistogram(),
 		ackLat:     obs.NewLatencyHistogram(),
+		roundDur:   obs.NewLatencyHistogram(),
 		started:    time.Now(),
 	}
+	rt.ackLat.EnableExemplars()
+	rt.roundDur.EnableExemplars()
+	// Observability defaults mirror the single server: last 256 interesting
+	// requests, 1 in 64 sampled, last 256 rounds profiled. Reconfigure with
+	// SetTraceSampling / SetRoundProfiling before serving.
+	rt.flight = obs.NewFlightRecorder(256, 64)
+	rt.profiler = obs.NewRoundRecorder(256)
+	rt.stragglerRounds = make([]atomic.Int64, cfg.Shards)
 	rt.edges.Store(int64(g.NumEdges()))
 	for s := 0; s < cfg.Shards; s++ {
 		st := &shardState{id: s, c: &metrics.Counters{}}
@@ -197,6 +248,7 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 			return nil, fmt.Errorf("shard %d: %w", s, err)
 		}
 		eng.PublishSnapshot() // epoch 1: the bootstrapped state
+		eng.SetRoundTiming(true)
 		st.eng = eng
 		rt.shards = append(rt.shards, st)
 	}
@@ -214,6 +266,12 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 		}
 	}
 
+	// In-process time-series + burn-rate alerts: 1s resolution, 10-minute
+	// window, evaluated per tick (flight.go).
+	rt.sampler = obs.NewSampler(time.Second, 600)
+	rt.alerts = obs.NewAlertEngine(rt.sampler)
+	rt.buildTimeseries()
+	rt.sampler.Start()
 	rt.reg = obs.NewRegistry()
 	rt.buildRegistry()
 	rt.submitCh = make(chan *request, 4*maxGroup)
@@ -260,6 +318,9 @@ func (rt *Router) Close() error {
 		close(rt.quit)
 	})
 	rt.wg.Wait()
+	if rt.sampler != nil {
+		rt.sampler.Stop()
+	}
 	var errs []error
 	for _, s := range rt.shards {
 		if s.wal != nil {
@@ -289,12 +350,20 @@ func (rt *Router) ApplyAsync(delta graph.Delta, vups []inkstream.VertexUpdate) <
 		done:    done,
 		start:   time.Now(),
 	}
+	if f := rt.flight; f != nil {
+		req.id = f.NextID()
+		req.sampled = f.SampledID(req.id)
+		if len(delta) == 0 && len(vups) > 0 {
+			req.kind = "features"
+		} else {
+			req.kind = "update"
+		}
+	}
 	rt.accepted.Add(1)
 	rt.closeMu.RLock()
 	if rt.closed {
 		rt.closeMu.RUnlock()
-		rt.processed.Add(1)
-		done <- ErrRouterClosed
+		rt.finish(req, ErrRouterClosed, 0)
 		return done
 	}
 	// A full submitCh blocks here, but never deadlocks: routerLoop keeps
@@ -387,8 +456,7 @@ func (rt *Router) routerLoop() {
 			for {
 				select {
 				case req := <-rt.submitCh:
-					rt.processed.Add(1)
-					req.done <- ErrRouterClosed
+					rt.finish(req, ErrRouterClosed, 0)
 				default:
 					return
 				}
@@ -399,9 +467,10 @@ func (rt *Router) routerLoop() {
 
 // openRound tracks the round under construction and its conflict keys.
 type openRound struct {
-	reqs  []*request
-	edges map[[2]graph.NodeID]struct{} // canonical logical edges touched
-	nodes map[graph.NodeID]struct{}    // vertices with a feature update
+	reqs   []*request
+	edges  map[[2]graph.NodeID]struct{} // canonical logical edges touched
+	nodes  map[graph.NodeID]struct{}    // vertices with a feature update
+	opened time.Time                    // first request fused in (profiler anchor)
 }
 
 // canonArc canonicalises a directed arc to its logical edge key (sorted
@@ -433,6 +502,9 @@ func (o *openRound) conflicts(rt *Router, req *request) bool {
 }
 
 func (o *openRound) add(rt *Router, req *request) {
+	if len(o.reqs) == 0 && rt.profiler != nil {
+		o.opened = time.Now()
+	}
 	o.reqs = append(o.reqs, req)
 	for _, ch := range req.delta {
 		o.edges[rt.canonArc(ch.U, ch.V)] = struct{}{}
@@ -450,8 +522,7 @@ func (rt *Router) processGroup(group []*request) {
 	}
 	for _, req := range group {
 		if rt.corrupt.Load() {
-			rt.processed.Add(1)
-			req.done <- ErrCorrupt
+			rt.finish(req, ErrCorrupt, 0)
 			continue
 		}
 		if len(open.reqs) > 0 && open.conflicts(rt, req) {
@@ -467,8 +538,7 @@ func (rt *Router) processGroup(group []*request) {
 		// edges and vertices (the conflict rule), so their validity is
 		// independent and the base replica is the right reference.
 		if err := rt.validate(req); err != nil {
-			rt.processed.Add(1)
-			req.done <- err
+			rt.finish(req, err, 0)
 			continue
 		}
 		open.add(rt, req)
@@ -511,6 +581,17 @@ func (rt *Router) sealRound(open *openRound) {
 	n := len(rt.shards)
 	r.subDelta = make([]graph.Delta, n)
 	r.subVups = make([][]inkstream.VertexUpdate, n)
+	id := rt.roundSeq.Add(1)
+	for _, req := range open.reqs {
+		req.round = id
+	}
+	if rt.profiler != nil {
+		r.prof = &obs.RoundTrace{ID: id, Start: open.opened, Reqs: len(open.reqs)}
+		for _, req := range open.reqs {
+			r.prof.Edges += req.logical
+			r.prof.VUps += len(req.vups)
+		}
+	}
 	// Per-shard sub-deltas preserve round arrival order (request order,
 	// expansion order within a request); per-target event order on each
 	// shard then matches the single-engine order.
@@ -533,13 +614,24 @@ func (rt *Router) sealRound(open *openRound) {
 		r.subVups[s] = append(r.subVups[s], up)
 	}
 
+	if r.prof != nil {
+		r.prof.Fuse = time.Since(open.opened)
+	}
+	jStart := time.Now()
 	if err := rt.journalRound(r); err != nil {
 		err = fmt.Errorf("shard: journal: %w", err)
 		for _, req := range r.reqs {
-			rt.processed.Add(1)
-			req.done <- err
+			rt.finish(req, err, len(r.reqs))
 		}
 		return
+	}
+	if r.prof != nil {
+		r.prof.Journal = time.Since(jStart)
+	}
+	for _, req := range open.reqs {
+		if req.id != 0 {
+			req.marks[obs.StageJournal] = time.Since(req.start)
+		}
 	}
 	for _, req := range open.reqs {
 		if err := req.delta.Apply(rt.replica); err != nil {
@@ -547,8 +639,7 @@ func (rt *Router) sealRound(open *openRound) {
 			// replica and shards are out of sync — fail-stop.
 			rt.corrupt.Store(true)
 			for _, q := range r.reqs {
-				rt.processed.Add(1)
-				q.done <- fmt.Errorf("shard: replica apply: %w", err)
+				rt.finish(q, fmt.Errorf("shard: replica apply: %w", err), len(r.reqs))
 			}
 			return
 		}
@@ -563,12 +654,12 @@ func (rt *Router) sealRound(open *openRound) {
 		}
 	}
 
+	r.sealed = time.Now()
 	select {
 	case rt.roundCh <- r:
 	case <-rt.quit:
 		for _, req := range r.reqs {
-			rt.processed.Add(1)
-			req.done <- ErrRouterClosed
+			rt.finish(req, ErrRouterClosed, len(r.reqs))
 		}
 	}
 }
@@ -607,14 +698,15 @@ func (rt *Router) applyLoop() {
 		} else {
 			rt.rounds.Add(1)
 			rt.coSize.Observe(int64(len(r.reqs)))
+			if r.prof != nil {
+				rt.recordRound(r.prof)
+			}
 		}
 		for _, req := range r.reqs {
-			rt.processed.Add(1)
-			if err == nil {
-				rt.updates.Add(1)
-				rt.ackLat.ObserveDuration(time.Since(req.start))
+			if err == nil && req.id != 0 {
+				req.marks[obs.StageApply] = time.Since(req.start)
 			}
-			req.done <- err
+			rt.finish(req, err, len(r.reqs))
 		}
 	}
 }
@@ -626,17 +718,52 @@ func (rt *Router) applyLoop() {
 // and a snapshot publish on every shard.
 func (rt *Router) executeRound(r *round) error {
 	n := len(rt.shards)
+	prof := r.prof
+	var durs []time.Duration
+	if prof != nil {
+		prof.Queue = time.Since(r.sealed)
+		durs = make([]time.Duration, n)
+	}
+	// runStage is eachShard plus per-shard wall-time capture when the round
+	// is profiled: each goroutine writes only its own durs slot, and the
+	// WaitGroup join orders those writes before addStage reads them.
+	runStage := func(f func(i int, s *shardState) error) error {
+		if prof == nil {
+			return rt.eachShard(f)
+		}
+		return rt.eachShard(func(i int, s *shardState) error {
+			t0 := time.Now()
+			err := f(i, s)
+			durs[i] = time.Since(t0)
+			return err
+		})
+	}
+	var bcast time.Duration
+	mergeTimed := func(outs [][]inkstream.MessageChange) []inkstream.MessageChange {
+		if prof == nil {
+			return rt.mergeRecords(outs)
+		}
+		t0 := time.Now()
+		m := rt.mergeRecords(outs)
+		bcast = time.Since(t0)
+		return m
+	}
+
 	outs := make([][]inkstream.MessageChange, n)
-	if err := rt.eachShard(func(i int, s *shardState) error {
+	if err := runStage(func(i int, s *shardState) error {
 		recs, err := s.eng.BeginRound(r.subDelta[i], r.subVups[i])
 		outs[i] = recs
 		return err
 	}); err != nil {
 		return fmt.Errorf("begin: %w", err)
 	}
-	merged := rt.mergeRecords(outs)
+	if prof != nil {
+		rt.addStage(prof, "begin", durs, 0, 0, 0)
+	}
+	merged := mergeTimed(outs)
 	roundRecs := 0
 	for l := 0; l < rt.model.NumLayers(); l++ {
+		stageRecs, stageBytes := 0, int64(0)
 		if n > 1 && len(merged) > 0 {
 			// Boundary traffic: every record is broadcast to the n-1 other
 			// shards for ghost refresh and fan-out regeneration.
@@ -647,27 +774,70 @@ func (rt *Router) executeRound(r *round) error {
 				bytes += int64(4 * (len(rec.Old) + len(rec.New)))
 			}
 			rt.boundaryBytes.Add(bytes * int64(n-1))
+			stageRecs = len(merged)
+			stageBytes = bytes * int64(n-1)
 		}
+		layerBcast := bcast // merge time that produced this stage's records
 		layer := l
-		if err := rt.eachShard(func(i int, s *shardState) error {
+		if err := runStage(func(i int, s *shardState) error {
 			recs, err := s.eng.RoundLayer(layer, merged)
 			outs[i] = recs
 			return err
 		}); err != nil {
 			return fmt.Errorf("layer %d: %w", l, err)
 		}
-		merged = rt.mergeRecords(outs)
+		if prof != nil {
+			rt.addStage(prof, "layer"+strconv.Itoa(l), durs, stageRecs, stageBytes, layerBcast)
+			prof.Records += stageRecs
+			prof.Bytes += stageBytes
+		}
+		merged = mergeTimed(outs)
 	}
 	if n > 1 {
 		rt.recSize.Observe(int64(roundRecs))
 	}
-	return rt.eachShard(func(i int, s *shardState) error {
+	err := runStage(func(i int, s *shardState) error {
 		if err := s.eng.FinishRound(); err != nil {
 			return err
 		}
 		s.eng.PublishSnapshot()
 		return nil
 	})
+	if err == nil && prof != nil {
+		// The trailing merge drained the last layer's (unconsumed) records;
+		// attribute its cost to the publish stage.
+		rt.addStage(prof, "publish", durs, 0, 0, bcast)
+	}
+	return err
+}
+
+// addStage freezes one barrier stage into the round trace: per-shard compute
+// from the stage timings, barrier wait as makespan − compute, and the
+// engines' self-measured ghost/event stats (written before each goroutine's
+// WaitGroup release, so the post-barrier read is ordered).
+func (rt *Router) addStage(prof *obs.RoundTrace, name string, durs []time.Duration, records int, bytes int64, broadcast time.Duration) {
+	st := obs.RoundStageSpan{
+		Name:      name,
+		Records:   records,
+		Bytes:     bytes,
+		Broadcast: broadcast,
+		Shards:    make([]obs.RoundShardSpan, len(durs)),
+	}
+	for _, d := range durs {
+		if d > st.Makespan {
+			st.Makespan = d
+		}
+	}
+	for i, d := range durs {
+		es := rt.shards[i].eng.LastStageStats()
+		st.Shards[i] = obs.RoundShardSpan{
+			Compute: d,
+			Barrier: st.Makespan - d,
+			Ghost:   es.Ghost,
+			Events:  es.Events,
+		}
+	}
+	prof.Stages = append(prof.Stages, st)
 }
 
 // mergeRecords merges the per-shard record lists into one list sorted by

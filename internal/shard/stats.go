@@ -2,6 +2,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/inkstream"
 	"repro/internal/obs"
@@ -51,7 +52,28 @@ type StatsResponse struct {
 	BoundaryBytes   int64                   `json:"boundary_bytes"`
 	Corrupt         bool                    `json:"corrupt,omitempty"`
 	AckLatency      server.LatencyQuantiles `json:"ack_latency"`
-	PerShard        []ShardStats            `json:"per_shard"`
+	// RoundProfile summarises the round profiler's critical-path
+	// attribution (nil with profiling off or before the first round).
+	RoundProfile *RoundProfileStats `json:"round_profile,omitempty"`
+	PerShard     []ShardStats       `json:"per_shard"`
+}
+
+// RoundProfileStats is the cumulative critical-path attribution over every
+// profiled round: where BSP wall-time went (shard compute vs barrier wait),
+// how much of it the record broadcasts cost, and which shard sets the pace.
+type RoundProfileStats struct {
+	Rounds int64 `json:"rounds"`
+	// BarrierShare is the cumulative fraction of BSP time the mean shard
+	// spent stalled at barriers (1 − mean compute / BSP); BroadcastShare
+	// the router-side record merge time as a fraction of BSP.
+	BarrierShare   float64 `json:"barrier_share"`
+	BroadcastShare float64 `json:"broadcast_share"`
+	// MeanStragglerSkew is the mean over rounds of max/mean shard compute
+	// (1 = perfectly balanced); Straggler the shard that was slowest most
+	// often, with the per-shard round counts in StragglerRounds.
+	MeanStragglerSkew float64 `json:"mean_straggler_skew"`
+	Straggler         int     `json:"straggler"`
+	StragglerRounds   []int64 `json:"straggler_rounds"`
 }
 
 // Stats summarises the deployment. Everything is read from published
@@ -84,6 +106,27 @@ func (rt *Router) Stats() StatsResponse {
 		P95: float64(lat.P95()) * ms,
 		P99: float64(lat.P99()) * ms,
 		Max: float64(lat.Max) * ms,
+	}
+	if n := rt.profiled.Load(); n > 0 {
+		rp := &RoundProfileStats{
+			Rounds:            n,
+			MeanStragglerSkew: float64(rt.skewMilli.Load()) / 1000 / float64(n),
+			Straggler:         -1,
+			StragglerRounds:   make([]int64, len(rt.stragglerRounds)),
+		}
+		if bsp := rt.bspNS.Load(); bsp > 0 {
+			rp.BarrierShare = float64(rt.barrierNS.Load()) / float64(bsp)
+			rp.BroadcastShare = float64(rt.broadcastNS.Load()) / float64(bsp)
+		}
+		var best int64 = -1
+		for i := range rt.stragglerRounds {
+			c := rt.stragglerRounds[i].Load()
+			rp.StragglerRounds[i] = c
+			if c > best {
+				best, rp.Straggler = c, i
+			}
+		}
+		resp.RoundProfile = rp
 	}
 	counts := rt.part.Counts()
 	for i, s := range rt.shards {
@@ -245,6 +288,56 @@ func (rt *Router) buildRegistry() {
 			}
 			return out
 		})
+
+	// Round profiler: critical-path attribution of BSP wall-time
+	// (flight.go). compute/barrier are per-shard means, so their sum tracks
+	// inkstream_round_bsp_seconds_total and barrier ÷ bsp is the cumulative
+	// barrier share.
+	r.Histogram("inkstream_round_duration_seconds",
+		"One BSP round, open → all shards published; exemplars carry the round ID for /v1/rounds lookup.",
+		1e-9, rt.roundDur)
+	r.CounterFunc("inkstream_rounds_profiled_total",
+		"Rounds captured by the round profiler.",
+		func() float64 { return float64(rt.profiled.Load()) })
+	r.CounterFunc("inkstream_round_bsp_seconds_total",
+		"Barrier-stage wall-time (sum of per-stage makespans) across profiled rounds.",
+		func() float64 { return float64(rt.bspNS.Load()) * 1e-9 })
+	r.CounterFunc("inkstream_round_compute_seconds_total",
+		"Mean per-shard compute inside barrier stages across profiled rounds.",
+		func() float64 { return float64(rt.computeNS.Load()) * 1e-9 })
+	r.CounterFunc("inkstream_round_barrier_wait_seconds_total",
+		"Mean per-shard barrier wait (stage makespan minus own compute) across profiled rounds.",
+		func() float64 { return float64(rt.barrierNS.Load()) * 1e-9 })
+	r.CounterFunc("inkstream_round_broadcast_seconds_total",
+		"Router-side record merge/broadcast time across profiled rounds.",
+		func() float64 { return float64(rt.broadcastNS.Load()) * 1e-9 })
+	r.GaugeFunc("inkstream_round_barrier_share",
+		"Barrier-wait fraction of BSP time in the most recent profiled round.",
+		rt.lastShare)
+	r.GaugeFunc("inkstream_round_straggler_skew",
+		"Max/mean shard compute in the most recent profiled round (1 = balanced).",
+		func() float64 { return math.Float64frombits(rt.lastSkew.Load()) })
+	r.LabeledCounterFunc("inkstream_shard_straggler_rounds_total",
+		"Rounds each shard was the straggler of (slowest total compute).",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, len(rt.stragglerRounds))
+			for i := range rt.stragglerRounds {
+				out[i] = obs.LabeledValue{
+					Labels: shardLabel(i),
+					Value:  float64(rt.stragglerRounds[i].Load()),
+				}
+			}
+			return out
+		})
+	r.CounterFunc("inkstream_traces_recorded_total",
+		"Request traces captured by the flight recorder.",
+		func() float64 {
+			if rt.flight == nil {
+				return 0
+			}
+			return float64(rt.flight.Recorded())
+		})
+	rt.alerts.Register(r)
 }
 
 func shardLabel(i int) string { return fmt.Sprintf(`shard="%d"`, i) }

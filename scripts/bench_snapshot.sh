@@ -6,6 +6,10 @@
 #     flash-crowd stream through 1/2/4/8-shard deployments), with the
 #     host's core count and GOMAXPROCS recorded alongside: the curve only
 #     rises when real cores back the shards.
+#   BENCH_pr7.json — the same curve annotated with the round profiler's
+#     critical-path attribution (barrier-wait share of BSP time, compute
+#     skew, straggler shard), so a flat-to-negative curve names its cause
+#     instead of just measuring it.
 # Run from the repo root; takes a couple of minutes on a small container.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -83,3 +87,37 @@ $points
 JSON
 echo "wrote $out6"
 cat "$out6"
+
+# ---------------------------------------------------------------------------
+# PR7: the same scaling curve with the round profiler's critical-path
+# attribution. Reuses the shard run above — the profiler is always on in
+# the router, so every `shard-scaling:` line already carries the
+# barrier-share / straggler-skew / straggler columns.
+
+out7=BENCH_pr7.json
+points7=$(awk '/shard-scaling:/ {
+    delete m
+    for (i = 1; i <= NF; i++) if (split($i, kv, "=") == 2) m[kv[1]] = kv[2]
+    sub(/x$/, "", m["speedup"])
+    sub(/^s/, "", m["straggler"])
+    exact = ($NF == "bit-exact") ? "true" : "false"
+    printf "%s    {\"shards\": %s, \"updates_per_sec\": %s, \"ack_p99\": \"%s\", \"speedup\": %s, \"rounds\": %s, \"barrier_wait_share\": %s, \"straggler_skew\": %s, \"straggler_shard\": %s, \"bit_exact\": %s}",
+        sep, m["shards"], m["upd/s"], m["p99"], m["speedup"], m["rounds"],
+        m["barrier-share"], m["straggler-skew"], m["straggler"], exact
+    sep = ",\n"
+}' "$shardout")
+
+cat > "$out7" <<JSON
+{
+  "generated_by": "scripts/bench_snapshot.sh",
+  "host_cpus": $(nproc),
+  "gomaxprocs": ${gmp:-0},
+  "scenario": "flash crowd, queue depth 8, quick Yelp profile, 2000 pipelined updates per shard count",
+  "note": "critical-path attribution per shard count: barrier_wait_share is the fraction of BSP time the mean shard spent stalled at layer barriers, straggler_skew the mean max/mean per-layer compute ratio, straggler_shard the shard most often on the critical path; a high barrier share at high shard counts on few cores is the signature of BSP fan-out with no parallel backing",
+  "shard_scaling": [
+$points7
+  ]
+}
+JSON
+echo "wrote $out7"
+cat "$out7"

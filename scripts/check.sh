@@ -29,6 +29,13 @@ go test -race -count=1 -run 'TestShardedGrouperStress|TestShardedGroupingEquival
 go test -race -count=1 -run 'TestCrossShardBitExact|TestRouterConcurrentWriters' \
     ./internal/shard
 
+# The PR7 round profiler and burn-rate alerting touch every shard's stage
+# timings from the round goroutine while HTTP readers snapshot them, so
+# they get fresh race runs too.
+go test -race -count=1 \
+    -run 'TestRouterRoundProfiler|TestRouterObservabilityEndpoints|TestRouterSLOBurnRate|TestAlertEngine|TestServerSLOAlerts' \
+    ./internal/shard ./internal/obs ./internal/server
+
 # Observability must stay essentially free on the engine hot path and the
 # full pipeline. The gate runs paired benchmarks and is sensitive to box
 # load, so it is opt-in: CHECK_OBS=1 scripts/check.sh

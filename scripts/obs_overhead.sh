@@ -6,8 +6,11 @@
 #   2. BenchmarkPipelineFlightRecorder (internal/server) — the full
 #      submit→ack pipeline with the flight recorder at its serving default
 #      (ring 256, 1-in-64 sampling) vs request tracing disabled.
+#   3. BenchmarkRouterRoundProfiler (internal/shard) — the sharded
+#      submit→ack pipeline with the round profiler + flight recorder at
+#      their serving defaults vs both disabled.
 #
-# Both must stay within OVERHEAD_MAX_PCT (default 5%) of their
+# All must stay within OVERHEAD_MAX_PCT (default 5%) of their
 # uninstrumented path. Single benchmark runs drift ±25% on a loaded box —
 # far above the real overhead — so each process runs off and on back to
 # back (a paired measurement) and the gate takes the *minimum* paired
@@ -54,4 +57,5 @@ gate() {
 
 gate ./internal/inkstream BenchmarkApplyObservability
 gate ./internal/server BenchmarkPipelineFlightRecorder
+gate ./internal/shard BenchmarkRouterRoundProfiler
 echo "obs_overhead.sh: within budget"
