@@ -48,6 +48,10 @@ func run(args []string) error {
 		burstDep  = fs.Int("burst-depth", 8, "updates kept in flight (pipeline queue depth) in the burst scenario (experiment: burst)")
 		burstUpds = fs.Int("burst-updates", 2000, "total single-change updates per coalescing mode in the burst scenario")
 		shardCnts = fs.String("shard-counts", "1,2,4,8", "comma-separated deployment sizes for the shard-scaling scenario (experiment: shards)")
+		partition = fs.String("partition", "hash", "vertex partition strategy for the shard-scaling scenario: hash, block or greedy")
+		fullBcast = fs.Bool("full-broadcast", false, "disable subscription-filtered delivery in the shard-scaling scenario (legacy all-to-all exchange)")
+		shardReps = fs.Int("shard-reps", 1, "repetitions per shard count; the median rep by updates/sec is reported")
+		shardWork = fs.String("shard-workload", "crowd", "shard-scaling stream: crowd (flash crowd on the hub) or scatter (disjoint edge streams)")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
 		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -88,6 +92,10 @@ func run(args []string) error {
 	cfg.MixedUpdates = *mixedUpds
 	cfg.BurstDepth = *burstDep
 	cfg.BurstUpdates = *burstUpds
+	cfg.PartitionStrategy = *partition
+	cfg.FullBroadcast = *fullBcast
+	cfg.ShardReps = *shardReps
+	cfg.ShardWorkload = *shardWork
 	if *shardCnts != "" {
 		cfg.ShardCounts = nil
 		for _, f := range strings.Split(*shardCnts, ",") {

@@ -77,6 +77,8 @@ func buildServer(args []string) (http.Handler, string, error) {
 		aggName    = fs.String("agg", "max", "aggregation: max, min, mean or sum")
 		hidden     = fs.Int("hidden", 32, "hidden dimension")
 		shards     = fs.Int("shards", 1, "engine shards: >1 serves the graph from a partitioned multi-engine deployment (-wal becomes a WAL directory)")
+		partition  = fs.String("partition", "hash", "vertex partition strategy with -shards>1: hash, block or greedy (locality-aware)")
+		fullBcast  = fs.Bool("full-broadcast", false, "with -shards>1: broadcast every cross-shard record to every shard instead of subscription-filtered delivery (legacy exchange, for A/B comparison)")
 		batch      = fs.Int("batch", 0, "micro-batch size for /v1/submit (0 disables batching)")
 		staleness  = fs.Duration("staleness", 0, "max staleness before a pending /v1/submit batch flushes")
 		walPath    = fs.String("wal", "", "write-ahead log path: applied batches are journaled, and with -bundle the log is replayed on startup")
@@ -93,6 +95,18 @@ func buildServer(args []string) (http.Handler, string, error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
+	}
+
+	if *shards <= 1 {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "partition" || f.Name == "full-broadcast" {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return nil, "", fmt.Errorf("%s: partitioned-deployment flags require -shards>1", strings.Join(bad, ", "))
+		}
 	}
 
 	if *shards > 1 {
@@ -129,13 +143,21 @@ func buildServer(args []string) (http.Handler, string, error) {
 			model.Name, g.NumNodes(), g.NumEdges(), *shards)
 		var d metrics.Stopwatch
 		d.Start()
-		rt, err := shard.New(model, g, feats.X, shard.Config{Shards: *shards, WALDir: *walPath})
+		rt, err := shard.New(model, g, feats.X, shard.Config{
+			Shards:            *shards,
+			WALDir:            *walPath,
+			PartitionStrategy: *partition,
+			FullBroadcast:     *fullBcast,
+		})
 		d.Stop()
 		if err != nil {
 			return nil, "", err
 		}
 		st := rt.Stats()
-		log.Printf("initial inference done in %v (cut fraction %.3f)", d.Elapsed(), st.CutFraction)
+		log.Printf("initial inference done in %v (%s partition, cut fraction %.3f)", d.Elapsed(), st.PartitionStrategy, st.CutFraction)
+		if *fullBcast {
+			log.Printf("subscription filtering disabled (-full-broadcast): every record goes to every shard")
+		}
 		if st.RecoveredRounds > 0 {
 			log.Printf("replayed %d rounds from the shard WALs", st.RecoveredRounds)
 		}

@@ -151,6 +151,14 @@ func shardSuffix(s obs.Samples) string {
 	}
 	skew, _ := s.Get("inkstream_router_epoch_skew")
 	out := fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
+	if cut, ok := s.Get("inkstream_router_cut_fraction"); ok {
+		out += fmt.Sprintf("  cut=%.0f%%", 100*cut)
+	}
+	if rounds, _ := s.Get("inkstream_updates_total"); rounds > 0 {
+		recs, _ := s.Get("inkstream_boundary_records_total")
+		ghost, _ := s.Get("inkstream_ghost_rows_total")
+		out += fmt.Sprintf("  bcast/rd=%.1f  ghost/rd=%.1f", recs/rounds, ghost/rounds)
+	}
 	wait, _ := s.Get("inkstream_round_barrier_wait_seconds_total")
 	compute, _ := s.Get("inkstream_round_compute_seconds_total")
 	if bsp := wait + compute; bsp > 0 {
@@ -173,10 +181,18 @@ func shardWatchSuffix(prev, cur obs.Samples) string {
 	}
 	skew, _ := cur.Get("inkstream_router_epoch_skew")
 	out := fmt.Sprintf("  shards=%.0f  skew=%.0f", shards, skew)
+	if cut, ok := cur.Get("inkstream_router_cut_fraction"); ok {
+		out += fmt.Sprintf("  cut=%.0f%%", 100*cut)
+	}
 	delta := func(name string) float64 {
 		c, _ := cur.Get(name)
 		p, _ := prev.Get(name)
 		return c - p
+	}
+	if rounds := delta("inkstream_updates_total"); rounds > 0 {
+		out += fmt.Sprintf("  bcast/rd=%.1f  ghost/rd=%.1f",
+			delta("inkstream_boundary_records_total")/rounds,
+			delta("inkstream_ghost_rows_total")/rounds)
 	}
 	wait := delta("inkstream_round_barrier_wait_seconds_total")
 	compute := delta("inkstream_round_compute_seconds_total")

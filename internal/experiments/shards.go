@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
@@ -27,18 +28,30 @@ type ShardPoint struct {
 	Rounds int64
 	Stalls int64
 	// CutFraction is the partition's bootstrap cut; BoundaryRecords the
-	// ghost-refresh records broadcast during the run (both 0 at 1 shard).
+	// records delivered to remote shards during the run, FilteredRecords
+	// the deliveries the subscription filter suppressed, GhostRows the
+	// ghost rows engines adopted (all 0 at 1 shard).
 	CutFraction     float64
 	BoundaryRecords int64
+	FilteredRecords int64
+	GhostRows       int64
 	// BarrierShare/StragglerSkew/Straggler come from the round profiler's
 	// cumulative critical-path attribution: the fraction of BSP time the
 	// mean shard spent stalled at barriers, the mean max/mean compute skew,
 	// and the shard most often on the critical path (-1 when unprofiled).
+	// BoundaryShare is the boundary fraction of split-layer compute (0
+	// under full broadcast — layers are not split).
 	BarrierShare  float64
 	StragglerSkew float64
 	Straggler     int
+	BoundaryShare float64
 	// Speedup is UpdatesPerSec over the 1-shard point.
 	Speedup float64
+	// Reps is how many times the point was measured; the reported fields
+	// are from the median rep by updates/sec and MinUpdatesPerSec is the
+	// slowest rep (noise floor on loaded boxes).
+	Reps             int
+	MinUpdatesPerSec float64
 	// BitExact reports whether every final embedding matched the 1-shard
 	// deployment bitwise.
 	BitExact bool
@@ -48,30 +61,52 @@ type ShardPoint struct {
 // identical pipelined flash-crowd stream pushed through deployments of
 // increasing shard counts.
 type ShardScalingResult struct {
-	Dataset    string
-	Depth      int
-	Waves      int
-	Hub        graph.NodeID
-	HubDegree  int
-	GOMAXPROCS int
-	Points     []ShardPoint
+	Dataset   string
+	Depth     int
+	Waves     int
+	Hub       graph.NodeID
+	HubDegree int
+	// Strategy and FullBroadcast name the exchange configuration every
+	// point ran under; Workload is "crowd" (flash crowd on the hub) or
+	// "scatter" (disjoint edge streams across the graph).
+	Strategy      string
+	FullBroadcast bool
+	Workload      string
+	GOMAXPROCS    int
+	Points        []ShardPoint
 }
 
 // Render formats the scaling report. The per-point `shard-scaling:` lines
 // are stable and machine-parseable (scripts/bench_snapshot.sh).
 func (r ShardScalingResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Shard scaling (%s): %d waves x %d pipelined single-change updates, flash crowd on node %d (degree %d), GOMAXPROCS=%d\n",
-		r.Dataset, r.Waves, r.Depth, r.Hub, r.HubDegree, r.GOMAXPROCS)
+	mode := "filtered"
+	if r.FullBroadcast {
+		mode = "full-broadcast"
+	}
+	if r.Workload == "scatter" {
+		fmt.Fprintf(&b, "Shard scaling (%s): %d waves x %d pipelined single-change updates, scattered disjoint edge streams, partition=%s exchange=%s, GOMAXPROCS=%d\n",
+			r.Dataset, r.Waves, r.Depth, r.Strategy, mode, r.GOMAXPROCS)
+	} else {
+		fmt.Fprintf(&b, "Shard scaling (%s): %d waves x %d pipelined single-change updates, flash crowd on node %d (degree %d), partition=%s exchange=%s, GOMAXPROCS=%d\n",
+			r.Dataset, r.Waves, r.Depth, r.Hub, r.HubDegree, r.Strategy, mode, r.GOMAXPROCS)
+	}
 	for _, p := range r.Points {
 		exact := "bit-exact"
 		if !p.BitExact {
 			exact = "DIVERGED"
 		}
-		fmt.Fprintf(&b, "  shard-scaling: shards=%d upd/s=%.1f p50=%v p99=%v speedup=%.2fx rounds=%d stalls=%d cut=%.3f boundary-records=%d barrier-share=%.3f straggler-skew=%.2f straggler=s%d %s\n",
-			p.Shards, p.UpdatesPerSec, p.AckP50.Round(time.Microsecond),
+		recsPerRound, ghostPerRound := 0.0, 0.0
+		if p.Rounds > 0 {
+			recsPerRound = float64(p.BoundaryRecords) / float64(p.Rounds)
+			ghostPerRound = float64(p.GhostRows) / float64(p.Rounds)
+		}
+		fmt.Fprintf(&b, "  shard-scaling: shards=%d partition=%s exchange=%s reps=%d upd/s=%.1f min-upd/s=%.1f p50=%v p99=%v speedup=%.2fx rounds=%d stalls=%d cut=%.3f boundary-records=%d bcast-rd=%.1f filtered-records=%d ghost-rd=%.1f boundary-share=%.3f barrier-share=%.3f straggler-skew=%.2f straggler=s%d %s\n",
+			p.Shards, r.Strategy, mode, p.Reps, p.UpdatesPerSec, p.MinUpdatesPerSec,
+			p.AckP50.Round(time.Microsecond),
 			p.AckP99.Round(time.Microsecond), p.Speedup, p.Rounds, p.Stalls,
-			p.CutFraction, p.BoundaryRecords, p.BarrierShare, p.StragglerSkew,
+			p.CutFraction, p.BoundaryRecords, recsPerRound, p.FilteredRecords,
+			ghostPerRound, p.BoundaryShare, p.BarrierShare, p.StragglerSkew,
 			p.Straggler, exact)
 	}
 	return strings.TrimRight(b.String(), "\n")
@@ -79,9 +114,13 @@ func (r ShardScalingResult) Render() string {
 
 // runShardCount drives the flash-crowd stream through one deployment size
 // and returns its point plus the final embeddings for the exactness check.
-func runShardCount(inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
+func runShardCount(c Config, inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
 	waves, shards int) (ShardPoint, []tensor.Vector, error) {
-	rt, err := shard.New(model, inst.G, inst.X, shard.Config{Shards: shards})
+	rt, err := shard.New(model, inst.G, inst.X, shard.Config{
+		Shards:            shards,
+		PartitionStrategy: c.PartitionStrategy,
+		FullBroadcast:     c.FullBroadcast,
+	})
 	if err != nil {
 		return ShardPoint{}, nil, err
 	}
@@ -127,12 +166,15 @@ func runShardCount(inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
 		Stalls:          st.Stalls,
 		CutFraction:     st.CutFraction,
 		BoundaryRecords: st.BoundaryRecords,
+		FilteredRecords: st.FilteredRecords,
+		GhostRows:       st.GhostRows,
 		Straggler:       -1,
 	}
 	if rp := st.RoundProfile; rp != nil {
 		point.BarrierShare = rp.BarrierShare
 		point.StragglerSkew = rp.MeanStragglerSkew
 		point.Straggler = rp.Straggler
+		point.BoundaryShare = rp.BoundaryShare
 	}
 	rows := make([]tensor.Vector, inst.G.NumNodes())
 	for v := range rows {
@@ -142,6 +184,57 @@ func runShardCount(inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
 		}
 		rows[v] = row.Clone()
 	}
+	return point, rows, nil
+}
+
+// scatterPools builds the scattered-stream workload: `streams` disjoint
+// pools of initially-absent edges whose endpoints are all distinct, so
+// pipelined waves never conflict and the touched neighborhoods are spread
+// across the whole graph instead of concentrated on one hub. This is the
+// steady-state counterpoint to the flash crowd: a locality-aware partition
+// keeps most touched neighborhoods co-resident, which is exactly what
+// subscription-filtered delivery converts into suppressed records.
+func scatterPools(g *graph.Graph, streams, poolSize int, seed int64) [][]graph.EdgeChange {
+	rng := rand.New(rand.NewSource(seed + 4242))
+	n := g.NumNodes()
+	used := make([]bool, n)
+	pools := make([][]graph.EdgeChange, streams)
+	for w := range pools {
+		for len(pools[w]) < poolSize {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			if u == v || used[u] || used[v] || g.HasEdge(u, v) {
+				continue
+			}
+			used[u], used[v] = true, true
+			pools[w] = append(pools[w], graph.EdgeChange{U: u, V: v, Insert: true})
+		}
+	}
+	return pools
+}
+
+// runShardCountReps measures one shard count c.ShardReps times and returns
+// the median point by updates/sec (with the slowest rep recorded as
+// MinUpdatesPerSec) plus the final embeddings, which are identical across
+// reps — the stream is deterministic.
+func runShardCountReps(c Config, inst instance, model *gnn.Model, pools [][]graph.EdgeChange,
+	waves, shards int) (ShardPoint, []tensor.Vector, error) {
+	points := make([]ShardPoint, 0, c.ShardReps)
+	var rows []tensor.Vector
+	for rep := 0; rep < c.ShardReps; rep++ {
+		p, r, err := runShardCount(c, inst, model, pools, waves, shards)
+		if err != nil {
+			return ShardPoint{}, nil, err
+		}
+		points = append(points, p)
+		rows = r
+	}
+	sort.Slice(points, func(i, j int) bool {
+		return points[i].UpdatesPerSec < points[j].UpdatesPerSec
+	})
+	point := points[len(points)/2]
+	point.Reps = len(points)
+	point.MinUpdatesPerSec = points[0].UpdatesPerSec
 	return point, rows, nil
 }
 
@@ -160,16 +253,33 @@ func ShardScaling(c Config) (ShardScalingResult, error) {
 	if waves < 1 {
 		waves = 1
 	}
-	hub, pools := burstPools(inst.G, depth, 16)
+	var hub graph.NodeID = -1
+	var pools [][]graph.EdgeChange
+	if c.ShardWorkload == "scatter" {
+		pools = scatterPools(inst.G, depth, 16, c.Seed)
+	} else {
+		hub, pools = burstPools(inst.G, depth, 16)
+	}
 
+	strategy := c.PartitionStrategy
+	if strategy == "" {
+		strategy = "hash"
+	}
+	workload := c.ShardWorkload
+	if workload == "" {
+		workload = "crowd"
+	}
 	res := ShardScalingResult{
 		Dataset: inst.Spec.Name, Depth: depth, Waves: waves,
-		Hub: hub, HubDegree: inst.G.OutDegree(hub),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Hub: hub, Strategy: strategy, FullBroadcast: c.FullBroadcast,
+		Workload: workload, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if hub >= 0 {
+		res.HubDegree = inst.G.OutDegree(hub)
 	}
 	var ref []tensor.Vector
 	for _, s := range c.ShardCounts {
-		point, rows, err := runShardCount(inst, model, pools, waves, s)
+		point, rows, err := runShardCountReps(c, inst, model, pools, waves, s)
 		if err != nil {
 			return ShardScalingResult{}, fmt.Errorf("shards=%d: %w", s, err)
 		}

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Partition assigns every vertex to one of NumShards owners — the routing
 // map of partitioned multi-engine serving (DESIGN.md §11). The assignment
@@ -51,6 +54,150 @@ func NewBlockPartition(n, shards int) (*Partition, error) {
 		p.owner[v] = uint8(v * shards / max(n, 1))
 	}
 	return p, nil
+}
+
+// DefaultGreedySlack is the balance slack NewGreedyPartition uses when the
+// caller passes slack <= 1: every shard may hold at most 5% more vertices
+// than a perfectly even split.
+const DefaultGreedySlack = 1.05
+
+// NewGreedyPartition assigns vertices with a streaming greedy heuristic in
+// the LDG/Fennel family: vertices are visited in descending degree order
+// (hubs first, while every shard still has headroom) and each goes to the
+// shard holding most of its already-placed neighbors, discounted by how
+// full that shard is — score = |N(v) ∩ P_s| · (1 − |P_s|/C) with capacity
+// C = slack·n/shards. Ties break toward the lower shard index and isolated
+// or early vertices fall back to the emptiest shard, so the result is a
+// pure function of (g, shards, slack): no randomness, stable across runs —
+// round-aligned WAL recovery rebuilds the identical partition from the
+// bootstrap graph. Compared to hashing (cut fraction ≈ (N−1)/N) this keeps
+// neighborhoods co-resident and typically halves the cut on the
+// power-law bench graphs; Cut() measures the achieved fraction.
+func NewGreedyPartition(g *Graph, shards int, slack float64) (*Partition, error) {
+	n := g.NumNodes()
+	p, err := newPartition(n, shards)
+	if err != nil {
+		return nil, err
+	}
+	if shards == 1 || n == 0 {
+		return p, nil
+	}
+	if slack <= 1 {
+		slack = DefaultGreedySlack
+	}
+	capacity := int(slack * float64(n) / float64(shards))
+	if capacity < (n+shards-1)/shards {
+		capacity = (n + shards - 1) / shards // never below a perfectly even split
+	}
+
+	order := make([]NodeID, n)
+	for v := range order {
+		order[v] = NodeID(v)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.OutDegree(order[i]), g.OutDegree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+
+	placed := make([]bool, n)
+	sizes := make([]int, shards)
+	nbrCount := make([]int, shards) // scratch: placed neighbors per shard
+	for _, v := range order {
+		for s := range nbrCount {
+			nbrCount[s] = 0
+		}
+		for _, u := range g.OutNeighbors(v) {
+			if placed[u] {
+				nbrCount[p.owner[u]]++
+			}
+		}
+		best, bestScore := -1, -1.0
+		for s := 0; s < shards; s++ {
+			if sizes[s] >= capacity {
+				continue
+			}
+			score := float64(nbrCount[s]) * (1 - float64(sizes[s])/float64(capacity))
+			if score > bestScore {
+				best, bestScore = s, score
+			}
+		}
+		if best < 0 || bestScore == 0 {
+			// No neighbor signal (or every preferred shard full): emptiest
+			// shard, lowest index first — keeps the stream balanced and the
+			// assignment deterministic.
+			best = 0
+			for s := 1; s < shards; s++ {
+				if sizes[s] < sizes[best] {
+					best = s
+				}
+			}
+		}
+		p.owner[v] = uint8(best)
+		sizes[best]++
+		placed[v] = true
+	}
+
+	// Refinement: a few deterministic sweeps of capacity-bounded greedy
+	// moves. The streaming pass places hubs blind (no neighbors placed yet);
+	// revisiting each vertex once everything has a home recovers most of
+	// that loss, especially on bipartite graphs where one side carries all
+	// the degree. Vertices are visited in ID order and moved to the shard
+	// holding strictly more of their neighborhood whenever the target has
+	// headroom, so the result stays a pure function of (g, shards, slack).
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			for s := range nbrCount {
+				nbrCount[s] = 0
+			}
+			for _, u := range g.OutNeighbors(NodeID(v)) {
+				nbrCount[p.owner[u]]++
+			}
+			cur := int(p.owner[v])
+			best := cur
+			for s := 0; s < shards; s++ {
+				if s == cur || sizes[s] >= capacity {
+					continue
+				}
+				if nbrCount[s] > nbrCount[best] {
+					best = s
+				}
+			}
+			if best != cur {
+				sizes[cur]--
+				sizes[best]++
+				p.owner[v] = uint8(best)
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return p, nil
+}
+
+// PartitionStrategies lists the named strategies PartitionByStrategy
+// accepts, in flag-documentation order.
+var PartitionStrategies = []string{"hash", "block", "greedy"}
+
+// PartitionByStrategy builds a partition of g's vertices by strategy name:
+// "hash" (NewHashPartition), "block" (NewBlockPartition) or "greedy"
+// (NewGreedyPartition with the default slack). It is the single place the
+// -partition flags of inkserve and inkbench resolve through.
+func PartitionByStrategy(strategy string, g *Graph, shards int) (*Partition, error) {
+	switch strategy {
+	case "", "hash":
+		return NewHashPartition(g.NumNodes(), shards)
+	case "block":
+		return NewBlockPartition(g.NumNodes(), shards)
+	case "greedy":
+		return NewGreedyPartition(g, shards, 0)
+	}
+	return nil, fmt.Errorf("graph: unknown partition strategy %q (want one of %v)", strategy, PartitionStrategies)
 }
 
 // mix64 is the splitmix64 finalizer: a full-avalanche integer hash, so

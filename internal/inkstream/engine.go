@@ -116,6 +116,21 @@ type Engine struct {
 	partRecOut []MessageChange
 	outR       [][]MessageChange
 
+	// Boundary-first overlap state (partition.go). partBoundary marks the
+	// local vertices with at least one remote subscriber; RoundLayerBoundary
+	// stashes the layer's groups (reordered boundary-first) plus the split
+	// point so RoundLayerInterior can finish the layer while the router
+	// exchanges the boundary records. partRecB is the interior phase's
+	// record buffer — the boundary phase's slice (partRecOut) is still being
+	// read by the router while the interior computes, so the two phases
+	// must not share backing storage.
+	partBoundary  []bool
+	partGroups    []*group
+	partSplit     int
+	partLayer     int
+	partSplitOpen bool
+	partRecB      []MessageChange
+
 	// roundTiming gates the per-stage round profiler hooks (partition.go):
 	// when on, each BeginRound/RoundLayer call leaves a RoundStageStats in
 	// lastStage for the router to collect after the stage barrier. Off by

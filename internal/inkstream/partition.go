@@ -37,6 +37,14 @@ type RoundStageStats struct {
 	GhostRows int
 	Events    int
 	Ghost     time.Duration
+	// Boundary/Interior split one RoundLayerBoundary+RoundLayerInterior
+	// pair's compute time into the part that produced outgoing records and
+	// the part overlapped with the exchange (both zero for plain
+	// RoundLayer calls). BoundaryTargets counts the groups processed in the
+	// boundary phase.
+	Boundary        time.Duration
+	Interior        time.Duration
+	BoundaryTargets int
 }
 
 // SetRoundTiming toggles the per-stage profiler hooks. Not safe to call
@@ -135,8 +143,27 @@ func (e *Engine) BeginRound(delta graph.Delta, vups []VertexUpdate) ([]MessageCh
 // returns this shard's records for the next layer, sorted by node.
 // The returned slice is engine-owned scratch (see BeginRound).
 func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error) {
+	groups, err := e.stageRoundLayer(l, recs)
+	if err != nil {
+		return nil, err
+	}
+	e.partRecOut = e.partRecOut[:0]
+	_, carU := e.processLayer(l, groups)
+	e.partCarU = carU
+	return e.partRecOut, nil
+}
+
+// stageRoundLayer is the shared prologue of RoundLayer and
+// RoundLayerBoundary: validate, refresh ghost rows from remote records,
+// regenerate the layer's native event list and group it. The returned
+// groups are sorted by target (except under DisableGrouping, which keeps
+// arrival order — one group per event).
+func (e *Engine) stageRoundLayer(l int, recs []MessageChange) ([]*group, error) {
 	if !e.partActive {
 		return nil, errors.New("inkstream: RoundLayer without an open round")
+	}
+	if e.partSplitOpen {
+		return nil, errors.New("inkstream: previous layer's interior phase still pending (RoundLayerInterior)")
 	}
 	if l < 0 || l >= e.model.NumLayers() {
 		return nil, fmt.Errorf("inkstream: RoundLayer layer %d out of range [0,%d)", l, e.model.NumLayers())
@@ -183,14 +210,220 @@ func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error
 		}
 		groups = e.gr.finish(e.hooks)
 	}
-
-	e.partRecOut = e.partRecOut[:0]
-	_, carU := e.processLayer(l, groups)
-	e.partCarU = carU
 	if e.roundTiming {
 		e.lastStage.Events = len(e.routeN) + len(carriedUser)
 	}
+	return groups, nil
+}
+
+// SetPartitionBoundary installs the boundary mask for split-layer rounds:
+// boundary[v] marks a local vertex with at least one remote subscriber, i.e.
+// a vertex whose message-change records other shards consume. The router
+// derives the mask from its subscription tables and refreshes it between
+// rounds when arc changes move the cut. Passing nil disables the split
+// (RoundLayerBoundary then processes every target in the boundary phase).
+// Not safe to call concurrently with rounds.
+func (e *Engine) SetPartitionBoundary(boundary []bool) error {
+	if boundary != nil && len(boundary) != e.g.NumNodes() {
+		return fmt.Errorf("inkstream: boundary mask for %d nodes, graph has %d", len(boundary), e.g.NumNodes())
+	}
+	if e.partActive {
+		return errors.New("inkstream: cannot change boundary mask mid-round")
+	}
+	e.partBoundary = boundary
+	return nil
+}
+
+// RoundLayerBoundary runs the boundary phase of layer l: the same staging as
+// RoundLayer, then the compute of only the targets whose records other
+// shards are waiting for. It returns those records immediately — sorted by
+// node, engine-owned, stable until this engine's next stageRoundLayer — so
+// the router can start the cross-shard exchange while RoundLayerInterior
+// finishes the rest of the layer. Splitting a layer never changes values:
+// grouped targets are independent within a layer (layer-l processing reads
+// M[l]/Alpha[l] and writes only per-target H[l+1]/M[l+1] rows), so only the
+// schedule moves. Under DisableGrouping the group list is in arrival order
+// rather than target order, so the split is disabled and the whole layer
+// runs in the boundary phase.
+func (e *Engine) RoundLayerBoundary(l int, recs []MessageChange) ([]MessageChange, error) {
+	groups, err := e.stageRoundLayer(l, recs)
+	if err != nil {
+		return nil, err
+	}
+
+	split := len(groups)
+	if e.partBoundary != nil && !e.opts.DisableGrouping {
+		// Stable-partition boundary targets first. Both halves stay sorted
+		// by target, so RoundLayerInterior can reconstruct the global target
+		// order with a two-way merge.
+		e.partGroups = e.partGroups[:0]
+		for _, g := range groups {
+			if e.partBoundary[g.target] {
+				e.partGroups = append(e.partGroups, g)
+			}
+		}
+		split = len(e.partGroups)
+		for _, g := range groups {
+			if !e.partBoundary[g.target] {
+				e.partGroups = append(e.partGroups, g)
+			}
+		}
+		groups = e.partGroups
+	}
+
+	var t0 time.Time
+	if e.roundTiming {
+		t0 = time.Now()
+	}
+	e.partRecOut = e.partRecOut[:0]
+	e.processRange(l, groups, 0, split)
+	if e.roundTiming {
+		e.lastStage.Boundary = time.Since(t0)
+		e.lastStage.BoundaryTargets = split
+	}
+	e.partGroups, e.partSplit, e.partLayer = groups, split, l
+	e.partSplitOpen = true
 	return e.partRecOut, nil
+}
+
+// RoundLayerInterior finishes the layer RoundLayerBoundary opened: it
+// computes the interior targets (whose records no other shard consumes
+// before the next layer barrier) and returns their records, sorted by node.
+// The interior phase appends to a separate buffer — the boundary slice may
+// still be in the router's hands — so the two returned slices never share
+// backing storage within a layer.
+func (e *Engine) RoundLayerInterior() ([]MessageChange, error) {
+	if !e.partActive || !e.partSplitOpen {
+		return nil, errors.New("inkstream: RoundLayerInterior without an open boundary phase")
+	}
+	groups, split, l := e.partGroups, e.partSplit, e.partLayer
+
+	var t0 time.Time
+	if e.roundTiming {
+		t0 = time.Now()
+	}
+	boundaryRecs := e.partRecOut
+	e.partRecOut = e.partRecB[:0]
+	e.processRange(l, groups, split, len(groups))
+	e.partRecB = e.partRecOut
+	interiorRecs := e.partRecOut
+	e.partRecOut = boundaryRecs
+	if e.roundTiming {
+		e.lastStage.Interior = time.Since(t0)
+	}
+
+	// Merge the carried user events of the two phases back into global
+	// target order (each phase's slots are target-sorted runs), so the next
+	// layer sees exactly the event order an unsplit layer produces.
+	uev := e.uevBuf[:0]
+	i, j := 0, split
+	for i < split && j < len(groups) {
+		if groups[i].target < groups[j].target {
+			uev = append(uev, e.outU[i]...)
+			i++
+		} else {
+			uev = append(uev, e.outU[j]...)
+			j++
+		}
+	}
+	for ; i < split; i++ {
+		uev = append(uev, e.outU[i]...)
+	}
+	for ; j < len(groups); j++ {
+		uev = append(uev, e.outU[j]...)
+	}
+	e.uevBuf = uev
+	e.partCarU = uev
+	e.partSplitOpen = false
+	return interiorRecs, nil
+}
+
+// processRange runs processTarget over groups[lo:hi] (parallel unless the
+// engine is sequential) and merges that range's records into partRecOut and
+// its conditions into the stats. Carried events stay in the per-slot outU
+// buffers for the caller to merge in target order once both phases ran.
+func (e *Engine) processRange(l int, groups []*group, lo, hi int) {
+	n := len(groups)
+	for len(e.outN) < n {
+		e.outN = append(e.outN, nil)
+		e.outU = append(e.outU, nil)
+		e.outR = append(e.outR, nil)
+	}
+	if cap(e.conds) < n {
+		e.conds = make([]Condition, n)
+		e.dirt = make([]bool, n)
+	}
+	conds, dirt := e.conds[:n], e.dirt[:n]
+	outN, outU, outR := e.outN, e.outU, e.outR
+	body := func(lo, hi int) {
+		sc := e.getScratch(l)
+		for i := lo; i < hi; i++ {
+			outN[i], outU[i], outR[i], conds[i], dirt[i] = e.processTarget(l, groups[i], sc, outN[i][:0], outU[i][:0], outR[i][:0])
+		}
+		e.scratchPools[l].Put(sc)
+	}
+	if e.opts.Sequential || e.opts.DisableGrouping {
+		body(lo, hi)
+	} else {
+		tensor.ParallelForGrain(hi-lo, 4*e.model.Layers[l].MsgDim(), func(a, b int) { body(lo+a, lo+b) })
+	}
+	for i := lo; i < hi; i++ {
+		e.partRecOut = append(e.partRecOut, outR[i]...)
+		e.stats.Add(conds[i])
+		e.layerStats[l].Add(conds[i])
+		if dirt[i] {
+			e.markDirty(groups[i].target)
+		}
+		if e.opts.Trace != nil {
+			e.opts.Trace(l, groups[i].target, conds[i])
+		}
+	}
+}
+
+// HasCarriedRoundEvents reports whether the open round is carrying user-hook
+// events into its next layer. The router's idle-shard check reads it between
+// layer barriers: a shard with an empty sub-batch, an empty delivery list AND
+// no carried events has provably nothing to do in the next RoundLayer call,
+// so the router skips the call entirely.
+func (e *Engine) HasCarriedRoundEvents() bool { return len(e.partCarU) > 0 }
+
+// MessageRow returns the engine's live layer-l message row of vertex v. The
+// slice aliases engine state: callers copy it out before the engine runs
+// again. The router uses it to hydrate a ghost row on the shard that just
+// subscribed to v (a cut arc appeared where none existed).
+func (e *Engine) MessageRow(l int, v graph.NodeID) (tensor.Vector, error) {
+	if l < 0 || l >= e.model.NumLayers() {
+		return nil, fmt.Errorf("inkstream: MessageRow layer %d out of range [0,%d)", l, e.model.NumLayers())
+	}
+	if int(v) >= e.g.NumNodes() {
+		return nil, fmt.Errorf("inkstream: MessageRow node %d out of range", v)
+	}
+	return e.state.M[l].Row(int(v)), nil
+}
+
+// SetGhostMessageRow overwrites the ghost layer-l message row of remote
+// vertex v — subscription hydration: a shard that starts consuming v's
+// records mid-stream must first adopt v's current message, exactly as the
+// bootstrap seeded every ghost row. Only legal between rounds and only for
+// remote vertices (local rows are authoritative).
+func (e *Engine) SetGhostMessageRow(l int, v graph.NodeID, row tensor.Vector) error {
+	if e.partLocal == nil {
+		return errors.New("inkstream: SetGhostMessageRow requires partitioned mode")
+	}
+	if e.partActive {
+		return errors.New("inkstream: SetGhostMessageRow mid-round")
+	}
+	if l < 0 || l >= e.model.NumLayers() {
+		return fmt.Errorf("inkstream: SetGhostMessageRow layer %d out of range [0,%d)", l, e.model.NumLayers())
+	}
+	if int(v) >= len(e.partLocal) {
+		return fmt.Errorf("inkstream: SetGhostMessageRow node %d out of range", v)
+	}
+	if e.partLocal[v] {
+		return fmt.Errorf("inkstream: SetGhostMessageRow on local node %d (row is authoritative)", v)
+	}
+	e.state.M[l].SetRow(int(v), row)
+	return nil
 }
 
 // FinishRound closes the open round. The caller publishes a snapshot
@@ -198,6 +431,9 @@ func (e *Engine) RoundLayer(l int, recs []MessageChange) ([]MessageChange, error
 func (e *Engine) FinishRound() error {
 	if !e.partActive {
 		return errors.New("inkstream: FinishRound without an open round")
+	}
+	if e.partSplitOpen {
+		return errors.New("inkstream: FinishRound with a boundary phase still open (RoundLayerInterior)")
 	}
 	e.partActive = false
 	e.partDelta = nil

@@ -33,6 +33,16 @@ type RoundShardSpan struct {
 	// shard staged for the stage.
 	Ghost  time.Duration
 	Events int
+	// Boundary/Interior split Compute into the boundary-first phases of the
+	// overlapped exchange (zero on the broadcast path); GhostRows counts the
+	// remote rows the shard adopted in the stage. Skipped marks a layer call
+	// the router elided because the shard had no events, no delivered
+	// records and no carried hooks — a skipped shard is excluded from
+	// makespan and barrier attribution.
+	Boundary  time.Duration
+	Interior  time.Duration
+	GhostRows int
+	Skipped   bool
 }
 
 // RoundStageSpan is one barrier-synchronised stage of a round: the begin
@@ -155,33 +165,41 @@ func (t *RoundTrace) StragglerSkew() float64 {
 	return float64(max) / mean
 }
 
-// BarrierShare is the fraction of the round's BSP time the average shard
-// spent blocked on barriers: 1 − mean(shard compute)/BSP time. 0 on a
-// 1-shard deployment (the only shard is always the straggler).
+// BarrierShare is the fraction of participating shard-time spent blocked on
+// barriers: Σ barrier / (Σ barrier + Σ compute) over every non-skipped
+// shard-stage span. With full participation this equals the earlier
+// 1 − mean(shard compute)/BSP-time formulation exactly (both reduce to
+// W/(W+C)); shards whose layer call the router skipped contribute neither
+// wait nor compute — an idle shard is not waiting, so counting it would
+// inflate the share precisely when idle-skipping is doing its job. 0 on a
+// 1-shard deployment.
 func (t *RoundTrace) BarrierShare() float64 {
-	bsp := t.BSPTime()
-	comp := t.shardComputes()
-	if bsp <= 0 || len(comp) == 0 {
+	var wait, comp time.Duration
+	for _, st := range t.Stages {
+		for _, sh := range st.Shards {
+			if sh.Skipped {
+				continue
+			}
+			wait += sh.Barrier
+			comp += sh.Compute
+		}
+	}
+	if wait+comp <= 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, c := range comp {
-		sum += c
-	}
-	mean := float64(sum) / float64(len(comp))
-	share := 1 - mean/float64(bsp)
-	if share < 0 {
-		return 0
-	}
-	return share
+	return float64(wait) / float64(wait+comp)
 }
 
 type roundShardJSON struct {
-	Shard     int     `json:"shard"`
-	ComputeUS float64 `json:"compute_us"`
-	BarrierUS float64 `json:"barrier_us"`
-	GhostUS   float64 `json:"ghost_us"`
-	Events    int     `json:"events"`
+	Shard      int     `json:"shard"`
+	ComputeUS  float64 `json:"compute_us"`
+	BarrierUS  float64 `json:"barrier_us"`
+	GhostUS    float64 `json:"ghost_us"`
+	Events     int     `json:"events"`
+	BoundaryUS float64 `json:"boundary_us,omitempty"`
+	InteriorUS float64 `json:"interior_us,omitempty"`
+	GhostRows  int     `json:"ghost_rows,omitempty"`
+	Skipped    bool    `json:"skipped,omitempty"`
 }
 
 type roundStageJSON struct {
@@ -247,11 +265,15 @@ func (t *RoundTrace) MarshalJSON() ([]byte, error) {
 		}
 		for i, sh := range st.Shards {
 			sj.Shards[i] = roundShardJSON{
-				Shard:     i,
-				ComputeUS: us(sh.Compute),
-				BarrierUS: us(sh.Barrier),
-				GhostUS:   us(sh.Ghost),
-				Events:    sh.Events,
+				Shard:      i,
+				ComputeUS:  us(sh.Compute),
+				BarrierUS:  us(sh.Barrier),
+				GhostUS:    us(sh.Ghost),
+				Events:     sh.Events,
+				BoundaryUS: us(sh.Boundary),
+				InteriorUS: us(sh.Interior),
+				GhostRows:  sh.GhostRows,
+				Skipped:    sh.Skipped,
 			}
 		}
 		out.Stages = append(out.Stages, sj)

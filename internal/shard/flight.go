@@ -69,19 +69,35 @@ func (rt *Router) recordRound(p *obs.RoundTrace) {
 	rt.roundDur.Observe(p.Total.Nanoseconds())
 	rt.roundDur.Exemplar(p.Total.Nanoseconds(), p.ID)
 
-	n := int64(len(rt.shards))
+	// Per-stage participant means: shards whose layer call was skipped
+	// contribute neither compute nor wait, and for participants
+	// mean(compute)+mean(barrier) = stage makespan, so the invariant
+	// computeNS+barrierNS ≈ bspNS survives idle-shard skipping.
 	bsp := p.BSPTime().Nanoseconds()
-	var comp int64
+	var compNS, waitNS, bndNS, intrNS int64
 	for _, st := range p.Stages {
+		var c, w, k int64
 		for _, sh := range st.Shards {
-			comp += sh.Compute.Nanoseconds()
+			if sh.Skipped {
+				continue
+			}
+			c += sh.Compute.Nanoseconds()
+			w += sh.Barrier.Nanoseconds()
+			bndNS += sh.Boundary.Nanoseconds()
+			intrNS += sh.Interior.Nanoseconds()
+			k++
+		}
+		if k > 0 {
+			compNS += c / k
+			waitNS += w / k
 		}
 	}
-	meanComp := comp / n
+	rt.boundaryNS.Add(bndNS)
+	rt.interiorNS.Add(intrNS)
 	rt.bspNS.Add(bsp)
-	rt.computeNS.Add(meanComp)
-	if wait := bsp - meanComp; wait > 0 {
-		rt.barrierNS.Add(wait)
+	rt.computeNS.Add(compNS)
+	if waitNS > 0 {
+		rt.barrierNS.Add(waitNS)
 	}
 	rt.broadcastNS.Add(p.BroadcastTime().Nanoseconds())
 	if s := p.Straggler(); s >= 0 && s < len(rt.stragglerRounds) {

@@ -92,6 +92,12 @@ func TestRouterRoundProfiler(t *testing.T) {
 				t.Fatalf("stage %s has %d shard spans", st.Name, len(st.Shards))
 			}
 			for i, sh := range st.Shards {
+				if sh.Skipped {
+					if sh.Compute != 0 || sh.Barrier != 0 {
+						t.Fatalf("stage %s shard %d: skipped span carries compute %v barrier %v", st.Name, i, sh.Compute, sh.Barrier)
+					}
+					continue
+				}
 				if sh.Compute < 0 || sh.Compute > st.Makespan {
 					t.Fatalf("stage %s shard %d: compute %v outside [0, makespan %v]", st.Name, i, sh.Compute, st.Makespan)
 				}

@@ -63,9 +63,20 @@ const maxGroup = 128
 type Config struct {
 	// Shards is the number of engine shards (≥ 1).
 	Shards int
-	// Partition overrides the default hash partition (graph.NewHashPartition
-	// over the bootstrap graph's vertices).
+	// Partition overrides the partitioner entirely (PartitionStrategy is
+	// then ignored).
 	Partition *graph.Partition
+	// PartitionStrategy names the partitioner used when Partition is nil:
+	// "hash" (default), "block" or "greedy" (locality-aware streaming
+	// greedy, graph.NewGreedyPartition). Resolved over the bootstrap graph
+	// via graph.PartitionByStrategy.
+	PartitionStrategy string
+	// FullBroadcast disables subscription-filtered delivery and the
+	// boundary-first overlap: every message-change record is broadcast to
+	// every shard through plain RoundLayer calls. This is the pre-PR8
+	// exchange, kept selectable as the A/B baseline for the shard-scaling
+	// bench (BENCH_pr8.json measures the filtered path against it).
+	FullBroadcast bool
 	// WALDir, when non-empty, enables per-shard write-ahead logging under
 	// dir/shard-NNN/wal.log; existing round-aligned WALs are replayed on
 	// construction (longest common round prefix).
@@ -121,10 +132,24 @@ type shardState struct {
 type Router struct {
 	model      *gnn.Model
 	part       *graph.Partition
+	strategy   string       // partition strategy name (for stats; "custom" when injected)
 	replica    *graph.Graph // directed union of all shard arcs; router goroutine only
 	undirected bool
 	shards     []*shardState
 	cut        graph.CutStats
+
+	// Subscription-filtered delivery state (apply goroutine only, engines
+	// idle whenever it is touched). subs[s][u] counts the live arcs from
+	// remote vertex u into shard-s-owned vertices: shard s consumes u's
+	// ghost rows iff the count is positive. remoteSubs[u] counts the shards
+	// subscribed to u; boundary[s] is the per-shard mask of owned vertices
+	// with at least one remote subscriber (the engines' boundary-phase
+	// input, mutated in place between rounds). All nil in FullBroadcast
+	// mode and for 1-shard deployments.
+	fullBroadcast bool
+	subs          []map[graph.NodeID]int
+	remoteSubs    []int
+	boundary      [][]bool
 
 	submitCh  chan *request
 	roundCh   chan *round
@@ -149,8 +174,10 @@ type Router struct {
 	edges     atomic.Int64 // logical edge count of the served graph
 	corrupt   atomic.Bool
 
-	boundaryRecs  atomic.Int64 // message-change records broadcast across shards
-	boundaryBytes atomic.Int64 // payload bytes those broadcasts carried
+	boundaryRecs  atomic.Int64 // message-change records delivered to remote shards
+	boundaryBytes atomic.Int64 // payload bytes those deliveries carried
+	filteredRecs  atomic.Int64 // remote deliveries the subscription filter suppressed
+	ghostRows     atomic.Int64 // ghost rows engines actually adopted from deliveries
 	recSize       *obs.Histogram
 	coSize        *obs.Histogram
 	ackLat        *obs.Histogram
@@ -179,12 +206,20 @@ type Router struct {
 	broadcastNS      atomic.Int64
 	bspNS            atomic.Int64
 	skewMilli        atomic.Int64 // cumulative straggler skew × 1000
+	boundaryNS       atomic.Int64 // cumulative boundary-phase compute (filtered protocol)
+	interiorNS       atomic.Int64 // cumulative interior-phase compute (filtered protocol)
 	stragglerRounds  []atomic.Int64
 	lastBarrierShare atomic.Uint64
 	lastSkew         atomic.Uint64
 
-	// recBuf is the applyLoop's reusable merged-record buffer.
-	recBuf []inkstream.MessageChange
+	// recBuf is the applyLoop's reusable merged-record buffer (broadcast
+	// path); delivA/delivB are the filtered path's per-destination delivery
+	// lists, double-buffered because layer l's lists are still being read by
+	// engines while layer l+1's are built.
+	recBuf         []inkstream.MessageChange
+	delivA, delivB [][]inkstream.MessageChange
+	intrOut        [][]inkstream.MessageChange
+	bndOut         [][]inkstream.MessageChange
 }
 
 // New bootstraps a partitioned deployment: one full-graph inference over g
@@ -198,11 +233,16 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", cfg.Shards)
 	}
 	part := cfg.Partition
+	strategy := "custom"
 	if part == nil {
 		var err error
-		part, err = graph.NewHashPartition(g.NumNodes(), cfg.Shards)
+		part, err = graph.PartitionByStrategy(cfg.PartitionStrategy, g, cfg.Shards)
 		if err != nil {
 			return nil, err
+		}
+		strategy = cfg.PartitionStrategy
+		if strategy == "" {
+			strategy = "hash"
 		}
 	}
 	if part.NumShards() != cfg.Shards || part.NumNodes() != g.NumNodes() {
@@ -218,16 +258,18 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 	opts.Observer = nil
 	opts.Trace = nil
 	rt := &Router{
-		model:      model,
-		part:       part,
-		replica:    directedReplica(g),
-		undirected: g.Undirected,
-		cut:        part.Cut(g),
-		recSize:    obs.NewSizeHistogram(),
-		coSize:     obs.NewSizeHistogram(),
-		ackLat:     obs.NewLatencyHistogram(),
-		roundDur:   obs.NewLatencyHistogram(),
-		started:    time.Now(),
+		model:         model,
+		part:          part,
+		strategy:      strategy,
+		replica:       directedReplica(g),
+		undirected:    g.Undirected,
+		cut:           part.Cut(g),
+		fullBroadcast: cfg.FullBroadcast || cfg.Shards == 1,
+		recSize:       obs.NewSizeHistogram(),
+		coSize:        obs.NewSizeHistogram(),
+		ackLat:        obs.NewLatencyHistogram(),
+		roundDur:      obs.NewLatencyHistogram(),
+		started:       time.Now(),
 	}
 	rt.ackLat.EnableExemplars()
 	rt.roundDur.EnableExemplars()
@@ -251,6 +293,11 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 		eng.SetRoundTiming(true)
 		st.eng = eng
 		rt.shards = append(rt.shards, st)
+	}
+	if !rt.fullBroadcast {
+		if err := rt.initSubscriptions(); err != nil {
+			return nil, err
+		}
 	}
 
 	if cfg.WALDir != "" {
@@ -711,32 +758,44 @@ func (rt *Router) applyLoop() {
 	}
 }
 
-// executeRound runs one BSP round in layer lockstep: BeginRound on every
-// shard, then per layer a barrier-synchronised exchange — the node-sorted
-// union of every shard's message-change records is broadcast to all shards,
-// which refresh ghost rows and regenerate local fan-out — then FinishRound
-// and a snapshot publish on every shard.
+// executeRound runs one BSP round. Multi-shard deployments use the
+// subscription-filtered, boundary-first protocol (subscribe.go) unless
+// FullBroadcast pins the legacy path; 1-shard deployments always broadcast
+// (there is nothing to filter or overlap).
 func (rt *Router) executeRound(r *round) error {
+	if rt.fullBroadcast {
+		return rt.executeRoundBroadcast(r)
+	}
+	return rt.executeRoundFiltered(r)
+}
+
+// runStage is eachShard plus per-shard wall-time capture when the round is
+// profiled: each goroutine writes only its own durs slot, and the WaitGroup
+// join orders those writes before addStage reads them.
+func (rt *Router) runStage(prof *obs.RoundTrace, durs []time.Duration, f func(i int, s *shardState) error) error {
+	if prof == nil {
+		return rt.eachShard(f)
+	}
+	return rt.eachShard(func(i int, s *shardState) error {
+		t0 := time.Now()
+		err := f(i, s)
+		durs[i] = time.Since(t0)
+		return err
+	})
+}
+
+// executeRoundBroadcast runs one BSP round in plain layer lockstep:
+// BeginRound on every shard, then per layer a barrier-synchronised exchange
+// — the node-sorted union of every shard's message-change records is
+// broadcast to all shards, which refresh ghost rows and regenerate local
+// fan-out — then FinishRound and a snapshot publish on every shard.
+func (rt *Router) executeRoundBroadcast(r *round) error {
 	n := len(rt.shards)
 	prof := r.prof
 	var durs []time.Duration
 	if prof != nil {
 		prof.Queue = time.Since(r.sealed)
 		durs = make([]time.Duration, n)
-	}
-	// runStage is eachShard plus per-shard wall-time capture when the round
-	// is profiled: each goroutine writes only its own durs slot, and the
-	// WaitGroup join orders those writes before addStage reads them.
-	runStage := func(f func(i int, s *shardState) error) error {
-		if prof == nil {
-			return rt.eachShard(f)
-		}
-		return rt.eachShard(func(i int, s *shardState) error {
-			t0 := time.Now()
-			err := f(i, s)
-			durs[i] = time.Since(t0)
-			return err
-		})
 	}
 	var bcast time.Duration
 	mergeTimed := func(outs [][]inkstream.MessageChange) []inkstream.MessageChange {
@@ -750,7 +809,7 @@ func (rt *Router) executeRound(r *round) error {
 	}
 
 	outs := make([][]inkstream.MessageChange, n)
-	if err := runStage(func(i int, s *shardState) error {
+	if err := rt.runStage(prof, durs, func(i int, s *shardState) error {
 		recs, err := s.eng.BeginRound(r.subDelta[i], r.subVups[i])
 		outs[i] = recs
 		return err
@@ -758,36 +817,41 @@ func (rt *Router) executeRound(r *round) error {
 		return fmt.Errorf("begin: %w", err)
 	}
 	if prof != nil {
-		rt.addStage(prof, "begin", durs, 0, 0, 0)
+		rt.addStage(prof, "begin", durs, nil, 0, 0, 0)
 	}
 	merged := mergeTimed(outs)
 	roundRecs := 0
 	for l := 0; l < rt.model.NumLayers(); l++ {
 		stageRecs, stageBytes := 0, int64(0)
 		if n > 1 && len(merged) > 0 {
-			// Boundary traffic: every record is broadcast to the n-1 other
+			// Boundary traffic: every record is delivered to the n-1 other
 			// shards for ghost refresh and fan-out regeneration.
-			roundRecs += len(merged)
-			rt.boundaryRecs.Add(int64(len(merged)))
+			roundRecs += len(merged) * (n - 1)
+			rt.boundaryRecs.Add(int64(len(merged) * (n - 1)))
 			var bytes int64
 			for _, rec := range merged {
 				bytes += int64(4 * (len(rec.Old) + len(rec.New)))
 			}
 			rt.boundaryBytes.Add(bytes * int64(n-1))
-			stageRecs = len(merged)
+			stageRecs = len(merged) * (n - 1)
 			stageBytes = bytes * int64(n-1)
 		}
 		layerBcast := bcast // merge time that produced this stage's records
 		layer := l
-		if err := runStage(func(i int, s *shardState) error {
+		if err := rt.runStage(prof, durs, func(i int, s *shardState) error {
 			recs, err := s.eng.RoundLayer(layer, merged)
 			outs[i] = recs
 			return err
 		}); err != nil {
 			return fmt.Errorf("layer %d: %w", l, err)
 		}
+		if n > 1 {
+			for _, s := range rt.shards {
+				rt.ghostRows.Add(int64(s.eng.LastStageStats().GhostRows))
+			}
+		}
 		if prof != nil {
-			rt.addStage(prof, "layer"+strconv.Itoa(l), durs, stageRecs, stageBytes, layerBcast)
+			rt.addStage(prof, "layer"+strconv.Itoa(l), durs, nil, stageRecs, stageBytes, layerBcast)
 			prof.Records += stageRecs
 			prof.Bytes += stageBytes
 		}
@@ -796,7 +860,7 @@ func (rt *Router) executeRound(r *round) error {
 	if n > 1 {
 		rt.recSize.Observe(int64(roundRecs))
 	}
-	err := runStage(func(i int, s *shardState) error {
+	err := rt.runStage(prof, durs, func(i int, s *shardState) error {
 		if err := s.eng.FinishRound(); err != nil {
 			return err
 		}
@@ -806,16 +870,19 @@ func (rt *Router) executeRound(r *round) error {
 	if err == nil && prof != nil {
 		// The trailing merge drained the last layer's (unconsumed) records;
 		// attribute its cost to the publish stage.
-		rt.addStage(prof, "publish", durs, 0, 0, bcast)
+		rt.addStage(prof, "publish", durs, nil, 0, 0, bcast)
 	}
 	return err
 }
 
 // addStage freezes one barrier stage into the round trace: per-shard compute
 // from the stage timings, barrier wait as makespan − compute, and the
-// engines' self-measured ghost/event stats (written before each goroutine's
-// WaitGroup release, so the post-barrier read is ordered).
-func (rt *Router) addStage(prof *obs.RoundTrace, name string, durs []time.Duration, records int, bytes int64, broadcast time.Duration) {
+// engines' self-measured ghost/event/phase stats (written before each
+// goroutine's WaitGroup release, so the post-barrier read is ordered).
+// skipped marks shards whose layer call was elided by the idle-shard check:
+// they are excluded from makespan and barrier attribution (an idle shard is
+// not waiting — it has no work).
+func (rt *Router) addStage(prof *obs.RoundTrace, name string, durs []time.Duration, skipped []bool, records int, bytes int64, broadcast time.Duration) {
 	st := obs.RoundStageSpan{
 		Name:      name,
 		Records:   records,
@@ -823,18 +890,28 @@ func (rt *Router) addStage(prof *obs.RoundTrace, name string, durs []time.Durati
 		Broadcast: broadcast,
 		Shards:    make([]obs.RoundShardSpan, len(durs)),
 	}
-	for _, d := range durs {
+	for i, d := range durs {
+		if skipped != nil && skipped[i] {
+			continue
+		}
 		if d > st.Makespan {
 			st.Makespan = d
 		}
 	}
 	for i, d := range durs {
+		if skipped != nil && skipped[i] {
+			st.Shards[i] = obs.RoundShardSpan{Skipped: true}
+			continue
+		}
 		es := rt.shards[i].eng.LastStageStats()
 		st.Shards[i] = obs.RoundShardSpan{
-			Compute: d,
-			Barrier: st.Makespan - d,
-			Ghost:   es.Ghost,
-			Events:  es.Events,
+			Compute:   d,
+			Barrier:   st.Makespan - d,
+			Ghost:     es.Ghost,
+			Events:    es.Events,
+			Boundary:  es.Boundary,
+			Interior:  es.Interior,
+			GhostRows: es.GhostRows,
 		}
 	}
 	prof.Stages = append(prof.Stages, st)

@@ -59,13 +59,34 @@ func TestCrossShardBitExact(t *testing.T) {
 					t.Fatal(err)
 				}
 				defer r1.Close()
-				r4, err := New(model, g.Clone(), x.Clone(), Config{Shards: 4})
+				// One deployment per partition strategy on the filtered
+				// protocol, plus the hash strategy on the legacy
+				// full-broadcast path — all must match the 1-shard
+				// reference bitwise at every epoch.
+				type deployment struct {
+					name string
+					rt   *Router
+				}
+				var deps []deployment
+				for _, strat := range graph.PartitionStrategies {
+					rt, err := New(model, g.Clone(), x.Clone(), Config{Shards: 4, PartitionStrategy: strat})
+					if err != nil {
+						t.Fatalf("%s deployment: %v", strat, err)
+					}
+					defer rt.Close()
+					deps = append(deps, deployment{strat, rt})
+				}
+				rb, err := New(model, g.Clone(), x.Clone(), Config{Shards: 4, FullBroadcast: true})
 				if err != nil {
 					t.Fatal(err)
 				}
-				defer r4.Close()
-				if r4.Stats().CutFraction == 0 {
-					t.Fatal("4-shard partition has a trivial cut; the test would prove nothing")
+				defer rb.Close()
+				deps = append(deps, deployment{"hash/full-broadcast", rb})
+				r4 := deps[0].rt
+				for _, d := range deps {
+					if d.rt.Stats().CutFraction == 0 {
+						t.Fatalf("%s: trivial cut; the test would prove nothing", d.name)
+					}
 				}
 
 				mirror := g.Clone()
@@ -86,24 +107,31 @@ func TestCrossShardBitExact(t *testing.T) {
 					if err := r1.Apply(delta, vups); err != nil {
 						t.Fatalf("step %d: 1-shard apply: %v", step, err)
 					}
-					if err := r4.Apply(delta, vups); err != nil {
-						t.Fatalf("step %d: 4-shard apply: %v", step, err)
+					for _, d := range deps {
+						if err := d.rt.Apply(delta, vups); err != nil {
+							t.Fatalf("step %d: %s apply: %v", step, d.name, err)
+						}
 					}
 					if err := delta.Apply(mirror); err != nil {
 						t.Fatalf("step %d: mirror apply: %v", step, err)
 					}
 					for v := 0; v < n; v++ {
 						row1, e1, ok1 := r1.ReadEmbedding(v)
-						row4, e4, ok4 := r4.ReadEmbedding(v)
-						if !ok1 || !ok4 {
-							t.Fatalf("step %d: node %d unreadable", step, v)
+						if !ok1 {
+							t.Fatalf("step %d: node %d unreadable on 1-shard", step, v)
 						}
-						if e1 != e4 {
-							t.Fatalf("step %d: node %d epochs diverged: %d vs %d", step, v, e1, e4)
-						}
-						if !row1.Equal(row4) {
-							t.Fatalf("step %d: node %d embeddings diverged at epoch %d:\n1-shard: %v\n4-shard: %v",
-								step, v, e1, row1, row4)
+						for _, d := range deps {
+							row4, e4, ok4 := d.rt.ReadEmbedding(v)
+							if !ok4 {
+								t.Fatalf("step %d: node %d unreadable on %s", step, v, d.name)
+							}
+							if e1 != e4 {
+								t.Fatalf("step %d: node %d epochs diverged on %s: %d vs %d", step, v, d.name, e1, e4)
+							}
+							if !row1.Equal(row4) {
+								t.Fatalf("step %d: node %d embeddings diverged on %s at epoch %d:\n1-shard: %v\n4-shard: %v",
+									step, v, d.name, e1, row1, row4)
+							}
 						}
 					}
 				}

@@ -44,12 +44,22 @@ type StatsResponse struct {
 	Stalls          int64 `json:"stalls"`
 	UpdatesServed   int64 `json:"updates_served"`
 	ReadsServed     int64 `json:"reads_served"`
+	// PartitionStrategy names the vertex-placement policy ("hash", "block",
+	// "greedy", or "custom" for an injected partition); FullBroadcast marks
+	// the legacy all-to-all exchange (subscription filtering off).
+	PartitionStrategy string `json:"partition_strategy"`
+	FullBroadcast     bool   `json:"full_broadcast,omitempty"`
 	// CutFraction is the bootstrap-time fraction of arcs crossing shards;
-	// BoundaryRecords/BoundaryBytes the cumulative ghost-refresh broadcast
-	// traffic those cut arcs induced.
+	// BoundaryRecords/BoundaryBytes the cumulative record deliveries to
+	// remote shards those cut arcs induced. FilteredRecords counts the
+	// remote deliveries the subscription filter suppressed (0 under full
+	// broadcast), GhostRows the ghost message rows engines adopted from the
+	// delivered records.
 	CutFraction     float64                 `json:"cut_fraction"`
 	BoundaryRecords int64                   `json:"boundary_records"`
 	BoundaryBytes   int64                   `json:"boundary_bytes"`
+	FilteredRecords int64                   `json:"filtered_records"`
+	GhostRows       int64                   `json:"ghost_rows"`
 	Corrupt         bool                    `json:"corrupt,omitempty"`
 	AckLatency      server.LatencyQuantiles `json:"ack_latency"`
 	// RoundProfile summarises the round profiler's critical-path
@@ -68,6 +78,11 @@ type RoundProfileStats struct {
 	// the router-side record merge time as a fraction of BSP.
 	BarrierShare   float64 `json:"barrier_share"`
 	BroadcastShare float64 `json:"broadcast_share"`
+	// BoundaryShare is the boundary-phase fraction of split-layer compute
+	// (boundary / (boundary + interior)) across profiled rounds — how early
+	// the filtered protocol publishes its records. 0 under full broadcast
+	// (layers are not split).
+	BoundaryShare float64 `json:"boundary_share"`
 	// MeanStragglerSkew is the mean over rounds of max/mean shard compute
 	// (1 = perfectly balanced); Straggler the shard that was slowest most
 	// often, with the per-shard round counts in StragglerRounds.
@@ -81,20 +96,24 @@ type RoundProfileStats struct {
 func (rt *Router) Stats() StatsResponse {
 	lo, hi := rt.epochs()
 	resp := StatsResponse{
-		Shards:          len(rt.shards),
-		Nodes:           rt.part.NumNodes(),
-		Edges:           int(rt.edges.Load()),
-		Epoch:           lo,
-		EpochSkew:       hi - lo,
-		Rounds:          rt.rounds.Load(),
-		RecoveredRounds: rt.recovered.Load(),
-		Stalls:          rt.stalls.Load(),
-		UpdatesServed:   rt.updates.Load(),
-		ReadsServed:     rt.reads.Load(),
-		CutFraction:     rt.cut.CutFraction,
-		BoundaryRecords: rt.boundaryRecs.Load(),
-		BoundaryBytes:   rt.boundaryBytes.Load(),
-		Corrupt:         rt.corrupt.Load(),
+		Shards:            len(rt.shards),
+		Nodes:             rt.part.NumNodes(),
+		Edges:             int(rt.edges.Load()),
+		Epoch:             lo,
+		EpochSkew:         hi - lo,
+		Rounds:            rt.rounds.Load(),
+		RecoveredRounds:   rt.recovered.Load(),
+		Stalls:            rt.stalls.Load(),
+		UpdatesServed:     rt.updates.Load(),
+		ReadsServed:       rt.reads.Load(),
+		PartitionStrategy: rt.strategy,
+		FullBroadcast:     rt.fullBroadcast,
+		CutFraction:       rt.cut.CutFraction,
+		BoundaryRecords:   rt.boundaryRecs.Load(),
+		BoundaryBytes:     rt.boundaryBytes.Load(),
+		FilteredRecords:   rt.filteredRecs.Load(),
+		GhostRows:         rt.ghostRows.Load(),
+		Corrupt:           rt.corrupt.Load(),
 	}
 	if p, a := rt.processed.Load(), rt.accepted.Load(); a > p {
 		resp.SnapshotLag = a - p
@@ -117,6 +136,9 @@ func (rt *Router) Stats() StatsResponse {
 		if bsp := rt.bspNS.Load(); bsp > 0 {
 			rp.BarrierShare = float64(rt.barrierNS.Load()) / float64(bsp)
 			rp.BroadcastShare = float64(rt.broadcastNS.Load()) / float64(bsp)
+		}
+		if split := rt.boundaryNS.Load() + rt.interiorNS.Load(); split > 0 {
+			rp.BoundaryShare = float64(rt.boundaryNS.Load()) / float64(split)
 		}
 		var best int64 = -1
 		for i := range rt.stragglerRounds {
@@ -206,6 +228,12 @@ func (rt *Router) buildRegistry() {
 	r.CounterFunc("inkstream_boundary_bytes_total",
 		"Payload bytes carried by cross-shard record broadcasts.",
 		func() float64 { return float64(rt.boundaryBytes.Load()) })
+	r.CounterFunc("inkstream_filtered_records_total",
+		"Remote record deliveries suppressed by the subscription filter (0 under full broadcast).",
+		func() float64 { return float64(rt.filteredRecs.Load()) })
+	r.CounterFunc("inkstream_ghost_rows_total",
+		"Ghost message rows engines adopted from delivered cross-shard records.",
+		func() float64 { return float64(rt.ghostRows.Load()) })
 	r.Histogram("inkstream_boundary_round_records",
 		"Cross-shard records exchanged per round (all layers).",
 		1, rt.recSize)
@@ -303,14 +331,20 @@ func (rt *Router) buildRegistry() {
 		"Barrier-stage wall-time (sum of per-stage makespans) across profiled rounds.",
 		func() float64 { return float64(rt.bspNS.Load()) * 1e-9 })
 	r.CounterFunc("inkstream_round_compute_seconds_total",
-		"Mean per-shard compute inside barrier stages across profiled rounds.",
+		"Mean participating-shard compute inside barrier stages across profiled rounds.",
 		func() float64 { return float64(rt.computeNS.Load()) * 1e-9 })
 	r.CounterFunc("inkstream_round_barrier_wait_seconds_total",
-		"Mean per-shard barrier wait (stage makespan minus own compute) across profiled rounds.",
+		"Mean participating-shard barrier wait (stage makespan minus own compute) across profiled rounds.",
 		func() float64 { return float64(rt.barrierNS.Load()) * 1e-9 })
 	r.CounterFunc("inkstream_round_broadcast_seconds_total",
 		"Router-side record merge/broadcast time across profiled rounds.",
 		func() float64 { return float64(rt.broadcastNS.Load()) * 1e-9 })
+	r.CounterFunc("inkstream_round_boundary_seconds_total",
+		"Boundary-phase shard compute across profiled rounds (filtered protocol only).",
+		func() float64 { return float64(rt.boundaryNS.Load()) * 1e-9 })
+	r.CounterFunc("inkstream_round_interior_seconds_total",
+		"Interior-phase shard compute across profiled rounds (filtered protocol only).",
+		func() float64 { return float64(rt.interiorNS.Load()) * 1e-9 })
 	r.GaugeFunc("inkstream_round_barrier_share",
 		"Barrier-wait fraction of BSP time in the most recent profiled round.",
 		rt.lastShare)

@@ -29,6 +29,14 @@ go test -race -count=1 -run 'TestShardedGrouperStress|TestShardedGroupingEquival
 go test -race -count=1 -run 'TestCrossShardBitExact|TestRouterConcurrentWriters' \
     ./internal/shard
 
+# The PR8 overlapped exchange runs every shard's boundary and interior
+# phases concurrently with the router-side record bucketing, and the
+# engine's split-layer protocol shares scratch state between the phases —
+# both deserve fresh race runs, as does subscription maintenance under the
+# bit-exactness streams.
+go test -race -count=1 -run 'TestSubscription|TestSplitRound|TestGhostRow' \
+    ./internal/shard ./internal/inkstream
+
 # The PR7 round profiler and burn-rate alerting touch every shard's stage
 # timings from the round goroutine while HTTP readers snapshot them, so
 # they get fresh race runs too.
