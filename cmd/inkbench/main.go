@@ -52,6 +52,9 @@ func run(args []string) error {
 		fullBcast = fs.Bool("full-broadcast", false, "disable subscription-filtered delivery in the shard-scaling scenario (legacy all-to-all exchange)")
 		shardReps = fs.Int("shard-reps", 1, "repetitions per shard count; the median rep by updates/sec is reported")
 		shardWork = fs.String("shard-workload", "crowd", "shard-scaling stream: crowd (flash crowd on the hub) or scatter (disjoint edge streams)")
+		tierFacts = fs.String("tiered-factors", "1,2,4,10", "comma-separated working-set multiples of the cap for the tiered-store sweep (experiment: tiered)")
+		tierQuant = fs.String("tiered-quant", "f32", "on-page row encoding for the tiered sweep: f32, f16 or int8")
+		tierReads = fs.Int("tiered-reads", 32, "Zipf-skewed audited reads per published batch in the tiered sweep")
 		datasets  = fs.String("datasets", "", "comma-separated dataset names or abbreviations (default: all six)")
 		outPath   = fs.String("out", "", "also append renderings to this file")
 		profPath  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
@@ -96,6 +99,18 @@ func run(args []string) error {
 	cfg.FullBroadcast = *fullBcast
 	cfg.ShardReps = *shardReps
 	cfg.ShardWorkload = *shardWork
+	cfg.TieredQuant = *tierQuant
+	cfg.TieredReadsPerBatch = *tierReads
+	if *tierFacts != "" {
+		cfg.TieredFactors = nil
+		for _, f := range strings.Split(*tierFacts, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				return fmt.Errorf("-tiered-factors: bad factor %q", f)
+			}
+			cfg.TieredFactors = append(cfg.TieredFactors, n)
+		}
+	}
 	if *shardCnts != "" {
 		cfg.ShardCounts = nil
 		for _, f := range strings.Split(*shardCnts, ",") {

@@ -9,6 +9,7 @@
 //	inkserve -bundle engine.inkb            # resume a persisted engine
 //	inkserve -dataset PM -save-bundle e.inkb -addr :8080
 //	inkserve -dataset PM -pprof -slow-update 5ms   # observability extras
+//	inkserve -dataset PA -mem-cap 64m -quantize f16  # tiered row store
 //
 // Every server exposes Prometheus metrics at GET /metrics; -slow-update /
 // -trace-updates log per-layer update traces and -pprof mounts the runtime
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,10 +41,12 @@ import (
 	"repro/internal/graph"
 	"repro/internal/inkstream"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/scheduler"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -86,6 +90,11 @@ func buildServer(args []string) (http.Handler, string, error) {
 		traceAll   = fs.Bool("trace-updates", false, "log a per-layer trace for every update (verbose)")
 		pprofOn    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
+		memCap    = fs.String("mem-cap", "", "enable the tiered row store: soft cap on resident embedding page bytes, e.g. 512k, 64m, 1g (empty keeps everything resident)")
+		pageBytes = fs.String("page-bytes", "64k", "tiered store page payload size (requires -mem-cap)")
+		quantize  = fs.String("quantize", "f32", "tiered store on-page row encoding: f32 (bit-exact), f16 or int8 (requires -mem-cap)")
+		storeDir  = fs.String("store-dir", "", "tiered store spill directory (requires -mem-cap; default: a fresh temp dir)")
+
 		traceRing   = fs.Int("trace-ring", 256, "flight-recorder ring size for GET /v1/traces (0 disables request tracing)")
 		traceSample = fs.Int("trace-sample", 64, "record 1 in N pipeline requests in the flight recorder (slow/failed requests are always recorded)")
 		slo         = fs.Duration("slo", 0, "ack-latency p99 objective: /healthz reports degraded above it (0 disables)")
@@ -109,6 +118,40 @@ func buildServer(args []string) (http.Handler, string, error) {
 		}
 	}
 
+	// Tiered-store flag validation: meaningless combinations fail fast
+	// instead of silently serving a misconfigured cache.
+	tiered := *memCap != ""
+	var (
+		tieredCap  int64
+		tieredPage int64
+		tieredQ    tensor.Quant
+	)
+	if !tiered {
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "page-bytes" || f.Name == "quantize" || f.Name == "store-dir" {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			return nil, "", fmt.Errorf("%s: tiered-store flags require -mem-cap", strings.Join(bad, ", "))
+		}
+	} else {
+		var err error
+		if tieredCap, err = parseBytes(*memCap); err != nil {
+			return nil, "", fmt.Errorf("-mem-cap: %w", err)
+		}
+		if tieredPage, err = parseBytes(*pageBytes); err != nil {
+			return nil, "", fmt.Errorf("-page-bytes: %w", err)
+		}
+		if tieredQ, err = tensor.ParseQuant(*quantize); err != nil {
+			return nil, "", fmt.Errorf("-quantize: %w", err)
+		}
+		if tieredCap < tieredPage {
+			return nil, "", fmt.Errorf("-mem-cap %s is smaller than one -page-bytes page (%s): the cache could never hold a single page", *memCap, *pageBytes)
+		}
+	}
+
 	if *shards > 1 {
 		if *bundle != "" || *saveBundle != "" {
 			return nil, "", fmt.Errorf("-shards is incompatible with -bundle/-save-bundle (engine bundles are single-engine)")
@@ -120,7 +163,8 @@ func buildServer(args []string) (http.Handler, string, error) {
 		singleOnly := map[string]bool{
 			"batch": true, "staleness": true, "slow-update": true,
 			"trace-updates": true, "audit-every": true, "audit-sample": true,
-			"audit-tol": true,
+			"audit-tol": true, "mem-cap": true, "page-bytes": true,
+			"quantize": true, "store-dir": true,
 		}
 		var bad []string
 		fs.Visit(func(f *flag.Flag) {
@@ -232,7 +276,41 @@ func buildServer(args []string) (http.Handler, string, error) {
 			}
 		}
 	}
+	var (
+		tieredStore *persist.TieredStore
+		faultLat    *obs.Histogram
+	)
+	if tiered {
+		dir := *storeDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "inkserve-pages-"); err != nil {
+				return nil, "", err
+			}
+		}
+		faultLat = obs.NewLatencyHistogram()
+		var err error
+		tieredStore, err = persist.NewTieredStore(persist.TieredConfig{
+			Dir:          dir,
+			Dim:          engine.Output().Cols,
+			PageBytes:    int(tieredPage),
+			MemCap:       tieredCap,
+			Quant:        tieredQ,
+			FaultLatency: faultLat,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if err := engine.SetRowStore(tieredStore); err != nil {
+			return nil, "", err
+		}
+		log.Printf("tiered row store: cap=%s page=%s (%d rows/page) quant=%s spill=%s",
+			*memCap, *pageBytes, tieredStore.PageRows(), tieredQ, dir)
+	}
 	srv := server.New(engine, &counters)
+	if tieredStore != nil {
+		srv.EnablePageCache(tieredStore.Stats, faultLat, tieredQ.String())
+	}
 	if *walPath != "" {
 		wal, err := persist.OpenWAL(*walPath)
 		if err != nil {
@@ -279,6 +357,27 @@ func buildServer(args []string) (http.Handler, string, error) {
 	}
 	handler := withPprof(srv.Handler(), *pprofOn)
 	return handler, *addr, nil
+}
+
+// parseBytes parses a human-friendly byte size: a plain number with an
+// optional k/m/g (KiB/MiB/GiB) suffix, case-insensitive, e.g. "512k",
+// "64m", "1g".
+func parseBytes(s string) (int64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 65536, 512k, 64m, 1g)", s)
+	}
+	return n * mult, nil
 }
 
 // loadData resolves the -file / -dataset flags into a graph and features.

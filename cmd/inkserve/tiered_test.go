@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"65536": 65536, "512k": 512 << 10, "64m": 64 << 20, "1g": 1 << 30,
+		"2K": 2 << 10, " 8m ": 8 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "abc", "-4k", "0", "1.5m", "4kb"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}
+
+// Satellite: meaningless -quantize/-mem-cap combinations fail fast with a
+// clear error instead of serving a misconfigured cache.
+func TestBuildServerTieredFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "PM", "-scale", "32", "-page-bytes", "4k"},                    // tiered flag without -mem-cap
+		{"-dataset", "PM", "-scale", "32", "-quantize", "int8"},                    // tiered flag without -mem-cap
+		{"-dataset", "PM", "-scale", "32", "-store-dir", "/tmp/x"},                 // tiered flag without -mem-cap
+		{"-dataset", "PM", "-scale", "32", "-mem-cap", "4k", "-page-bytes", "64k"}, // cap below one page
+		{"-dataset", "PM", "-scale", "32", "-mem-cap", "lots"},                     // unparsable size
+		{"-dataset", "PM", "-scale", "32", "-mem-cap", "1m", "-page-bytes", "zero"},
+		{"-dataset", "PM", "-scale", "32", "-mem-cap", "1m", "-quantize", "bf16"}, // unknown encoding
+		{"-dataset", "PM", "-scale", "32", "-shards", "2", "-mem-cap", "1m"},      // tiered store is single-engine
+	}
+	for i, args := range cases {
+		if _, _, err := buildServer(args); err == nil {
+			t.Errorf("case %d: accepted %v", i, args)
+		}
+	}
+}
+
+func TestBuildServerTieredServes(t *testing.T) {
+	for _, quant := range []string{"f32", "int8"} {
+		h, _, err := buildServer([]string{"-dataset", "PM", "-scale", "32",
+			"-mem-cap", "16k", "-page-bytes", "2k", "-quantize", quant,
+			"-store-dir", t.TempDir()})
+		if err != nil {
+			t.Fatalf("quant %s: %v", quant, err)
+		}
+		ts := httptest.NewServer(h)
+		if code := get(t, ts, "/v1/embedding?node=1"); code != http.StatusOK {
+			t.Errorf("quant %s: embedding status %d", quant, code)
+		}
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats struct {
+			PageCache *struct {
+				Quant      string `json:"quant"`
+				TotalPages int    `json:"total_pages"`
+				CapBytes   int64  `json:"cap_bytes"`
+			} `json:"page_cache"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if stats.PageCache == nil {
+			t.Fatalf("quant %s: no page_cache section in /v1/stats", quant)
+		}
+		if stats.PageCache.Quant != quant {
+			t.Errorf("quant = %q, want %q", stats.PageCache.Quant, quant)
+		}
+		if stats.PageCache.TotalPages == 0 || stats.PageCache.CapBytes != 16<<10 {
+			t.Errorf("quant %s: pages=%d cap=%d", quant, stats.PageCache.TotalPages, stats.PageCache.CapBytes)
+		}
+		ts.Close()
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/gnn"
+	"repro/internal/inkstream"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// TestWatchLoopTiered points the watcher at a server backed by a tiered
+// row store under cap pressure and checks the page-cache columns appear
+// in both the summary header and the windowed lines.
+func TestWatchLoopTiered(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := dataset.GenerateRMAT(rng, 160, 600, dataset.DefaultRMAT)
+	feats := dataset.NewFeatures(rng, 160, 6)
+	model := gnn.NewGCN(rng, 6, 12, gnn.NewAggregator(gnn.AggMax))
+	var c metrics.Counters
+	eng, err := inkstream.New(model, g, feats.X, &c, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultLat := obs.NewLatencyHistogram()
+	rowB := 4 * 12
+	st, err := persist.NewTieredStore(persist.TieredConfig{
+		Dir: t.TempDir(), Dim: 12,
+		PageBytes:    4 * rowB,
+		MemCap:       int64(6 * 4 * rowB),
+		FaultLatency: faultLat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := eng.SetRowStore(st); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, &c)
+	defer srv.Close()
+	srv.EnablePageCache(st.Stats, faultLat, st.Quant().String())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Background reads over the whole node range keep the cache churning
+	// (hits on hot pages, faults on cold ones) while the watcher samples.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i = (i + 1) % 160 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := ts.Client().Get(ts.URL + "/v1/embedding?node=" + itoa(i))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+
+	var out bytes.Buffer
+	if err := watchLoop(&out, ts.URL, 20*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2:\n%s", len(lines), out.String())
+	}
+	for i, line := range lines {
+		for _, field := range []string{"cache=", "hot="} {
+			if !strings.Contains(line, field) {
+				t.Errorf("line %d %q missing %s", i, line, field)
+			}
+		}
+	}
+	// fault-p99= appears once any fault was observed; the cap pressure above
+	// guarantees faults by the end of the run.
+	if !strings.Contains(lines[len(lines)-1], "fault-p99=") {
+		t.Errorf("final line %q missing fault-p99=", lines[len(lines)-1])
+	}
+}
+
+// A resident (non-tiered) scrape must not grow page-cache columns.
+func TestWatchSummaryResidentHasNoCacheColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := dataset.GenerateRMAT(rng, 80, 300, dataset.DefaultRMAT)
+	feats := dataset.NewFeatures(rng, 80, 6)
+	model := gnn.NewGCN(rng, 6, 12, gnn.NewAggregator(gnn.AggMax))
+	var c metrics.Counters
+	eng, err := inkstream.New(model, g, feats.X, &c, inkstream.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, &c)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	s, err := scrapeMetrics(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line := summaryLine(s); strings.Contains(line, "cache=") {
+		t.Errorf("resident summary grew cache columns: %q", line)
+	}
+}

@@ -74,6 +74,17 @@ type Config struct {
 	// the median by updates/sec, with the min kept alongside. 1-CPU CI boxes
 	// are noisy — a single rep regularly inverts the scaling curve.
 	ShardReps int
+	// TieredFactors are the working-set multiples of the memory cap the
+	// tiered-store sweep (experiment "tiered") serves the embedding
+	// footprint at (cap = footprint/factor); a resident baseline point is
+	// always run first.
+	TieredFactors []int
+	// TieredQuant is the on-page encoding for the tiered sweep ("f32",
+	// "f16" or "int8"; "" means f32).
+	TieredQuant string
+	// TieredReadsPerBatch is the number of Zipf-skewed audited reads issued
+	// after each published update batch of the tiered sweep.
+	TieredReadsPerBatch int
 }
 
 // Default returns the standard configuration used by cmd/inkbench.
@@ -132,6 +143,12 @@ func (c Config) normalize() Config {
 	}
 	if c.ShardReps < 1 {
 		c.ShardReps = 1
+	}
+	if len(c.TieredFactors) == 0 {
+		c.TieredFactors = []int{1, 2, 4, 10}
+	}
+	if c.TieredReadsPerBatch < 1 {
+		c.TieredReadsPerBatch = 32
 	}
 	return c
 }

@@ -275,15 +275,30 @@ func TestMemCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	registered := 0
 	for _, row := range r.Rows {
 		if row.CheckpointH <= 0 || row.RatioH <= 0 {
 			t.Errorf("%s: degenerate memory numbers %+v", row.Dataset, row)
+		}
+		if row.MeasuredH < 0 || row.MeasuredH32 < 0 {
+			t.Errorf("%s: negative resident measurement %+v", row.Dataset, row)
+		}
+		if row.MeasuredH > 0 {
+			registered++
 		}
 		if row.CheckpointH32 < row.CheckpointH && r.Hidden <= 32 {
 			t.Errorf("%s: width-32 checkpoint smaller than width-%d", row.Dataset, r.Hidden)
 		}
 	}
-	_ = r.Render()
+	// Heap-in-use deltas are span-granular and GC can reuse freed spans, so
+	// individual rows may legitimately read 0 at test scale — but a run where
+	// no checkpoint registered any resident growth means the probe is broken.
+	if registered == 0 {
+		t.Error("no dataset registered resident growth for its checkpoint")
+	}
+	if !strings.Contains(r.Render(), "resident") {
+		t.Error("render missing the measured resident column")
+	}
 }
 
 func TestFig9TrainedSmallDelta(t *testing.T) {
@@ -387,7 +402,7 @@ func TestScalingSweep(t *testing.T) {
 }
 
 func TestRunnerRegistry(t *testing.T) {
-	if len(Names()) != 16 {
+	if len(Names()) != 17 {
 		t.Errorf("registry size = %d", len(Names()))
 	}
 	if _, err := Run("nope", tiny()); err == nil {
@@ -420,6 +435,48 @@ func TestMixedWorkload(t *testing.T) {
 	}
 	if r.Render() == "" {
 		t.Error("empty rendering")
+	}
+}
+
+func TestTieredSweep(t *testing.T) {
+	c := tiny()
+	c.Datasets = []dataset.Spec{dataset.PubMed}
+	c.MixedUpdates = 12
+	c.TieredReadsPerBatch = 16
+	c.TieredFactors = []int{1, 4}
+	for _, quant := range []string{"f32", "int8"} {
+		c.TieredQuant = quant
+		r, err := TieredSweep(c)
+		if err != nil {
+			t.Fatalf("quant %s: %v", quant, err)
+		}
+		if len(r.Points) != 3 {
+			t.Fatalf("quant %s: points = %d, want resident + 2 factors", quant, len(r.Points))
+		}
+		resident := r.Points[0]
+		if resident.Factor != 0 || resident.CapBytes != 0 || resident.HitRate != 1 {
+			t.Errorf("quant %s: degenerate resident baseline %+v", quant, resident)
+		}
+		wantExact := "bit-exact"
+		if quant != "f32" {
+			wantExact = "within-tol"
+		}
+		for _, p := range r.Points {
+			// The audit runs inside the sweep: reaching here means every read
+			// matched the resident reference; the point just records the mode.
+			if p.Exact != wantExact {
+				t.Errorf("quant %s factor %d: exact = %q, want %q", quant, p.Factor, p.Exact, wantExact)
+			}
+			if p.UpdPerSec <= 0 || p.ReadP99 < p.ReadP50 {
+				t.Errorf("quant %s factor %d: degenerate timings %+v", quant, p.Factor, p)
+			}
+			if p.Factor > 0 && (p.CapBytes <= 0 || p.CapBytes != r.Footprint/int64(p.Factor)) {
+				t.Errorf("quant %s factor %d: cap %d vs footprint %d", quant, p.Factor, p.CapBytes, r.Footprint)
+			}
+		}
+		if !strings.Contains(r.Render(), "tiered-sweep: factor=4") {
+			t.Errorf("quant %s: render missing machine-parseable point line", quant)
+		}
 	}
 }
 

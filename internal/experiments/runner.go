@@ -32,6 +32,7 @@ var Registry = map[string]Runner{
 	"mixed":   func(c Config) (Result, error) { return Mixed(c) },
 	"burst":   func(c Config) (Result, error) { return Burst(c) },
 	"shards":  func(c Config) (Result, error) { return ShardScaling(c) },
+	"tiered":  func(c Config) (Result, error) { return TieredSweep(c) },
 }
 
 // Names returns the sorted experiment IDs.

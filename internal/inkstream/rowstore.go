@@ -1,0 +1,62 @@
+package inkstream
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// RowStore is the pluggable backing store for published snapshot rows. In
+// the default (resident) configuration snapshots clone rows into plain
+// slices; with a RowStore attached, PublishSnapshot instead writes the
+// changed rows into the store and publishes a sealed RowView, letting the
+// store page cold rows out of memory (and optionally serve a quantized
+// read-path representation) while the engine keeps full fp32 state.
+//
+// The engine calls WriteRow and Seal only from the writer goroutine, in the
+// same single-writer discipline as Apply. Row values passed to WriteRow are
+// engine-owned scratch: the store must copy (encode) them before returning.
+type RowStore interface {
+	// WriteRow stages node id's embedding for the next sealed view. Rows
+	// not rewritten since the previous Seal keep their previous contents
+	// (copy-on-write at whatever granularity the store implements).
+	WriteRow(id int, row tensor.Vector)
+	// Seal publishes everything written so far as an immutable view stamped
+	// with the snapshot epoch. The returned view serves reads from any
+	// goroutine until Release.
+	Seal(epoch uint64) RowView
+}
+
+// RowView is one sealed, epoch-stamped generation of the row store.
+//
+// Semantics differ from resident snapshots in one documented way: after the
+// view is superseded (a newer Seal) and released, the store may evict or
+// overwrite the frames it referenced. Reads through a released view remain
+// memory-safe and never observe torn rows, but may observe the *current*
+// generation's value for a row instead of this view's (monotone staleness,
+// never corruption). The server's default resident mode keeps the strict
+// immutable-forever contract.
+type RowView interface {
+	// Row returns node id's embedding. The returned vector is freshly
+	// decoded (or an immutable resident reference); callers must not write
+	// to it. An error means the row could not be faulted in (e.g. the
+	// backing file vanished); callers should treat it as row-unavailable.
+	Row(id int) (tensor.Vector, error)
+	// NumRows returns the number of rows in this view.
+	NumRows() int
+	// Release marks the view superseded so the store can reclaim the frames
+	// it pinned. Called by the engine when a newer snapshot replaces it.
+	Release()
+}
+
+// SetRowStore attaches a backing store for published snapshots. It must be
+// called before the first PublishSnapshot (i.e. before serving starts);
+// attaching a store to an engine that already published is an error because
+// existing readers hold resident snapshots with the strict contract.
+func (e *Engine) SetRowStore(st RowStore) error {
+	if e.snap.tracking || e.snap.cur.Load() != nil {
+		return fmt.Errorf("inkstream: SetRowStore after PublishSnapshot")
+	}
+	e.snap.store = st
+	return nil
+}

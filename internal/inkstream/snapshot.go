@@ -30,15 +30,34 @@ type Snapshot struct {
 	Conditions ConditionStats
 
 	rows []tensor.Vector
+	// view is the sealed row-store generation backing this snapshot when
+	// the engine has a RowStore attached; rows is nil in that mode.
+	view RowView
 }
 
 // NumNodes returns the number of embedding rows in the snapshot.
-func (s *Snapshot) NumNodes() int { return len(s.rows) }
+func (s *Snapshot) NumNodes() int {
+	if s.view != nil {
+		return s.view.NumRows()
+	}
+	return len(s.rows)
+}
 
 // Row returns node i's embedding as of this snapshot's epoch. The returned
 // vector is immutable by contract: callers must not write to it, and may
-// read it indefinitely without holding any lock.
-func (s *Snapshot) Row(i int) tensor.Vector { return s.rows[i] }
+// read it indefinitely without holding any lock. In tiered mode (a RowStore
+// is attached) a row that cannot be faulted back in returns nil; see
+// RowView for the superseded-view staleness semantics.
+func (s *Snapshot) Row(i int) tensor.Vector {
+	if s.view != nil {
+		v, err := s.view.Row(i)
+		if err != nil {
+			return nil
+		}
+		return v
+	}
+	return s.rows[i]
+}
 
 // snapState is the engine's snapshot machinery. Dirty-output tracking is
 // off until the first PublishSnapshot call so engines that never serve
@@ -54,6 +73,9 @@ type snapState struct {
 	// all forces the next publication to re-clone every row (set by
 	// Refresh, which replaces the whole state).
 	all bool
+	// store, when non-nil, backs publications instead of resident clones
+	// (see SetRowStore).
+	store RowStore
 }
 
 // Snapshot returns the most recently published snapshot, or nil when
@@ -107,6 +129,9 @@ func (e *Engine) PublishSnapshot() *Snapshot {
 	prev := e.snap.cur.Load()
 	out := e.state.Output()
 	n := e.g.NumNodes()
+	if e.snap.store != nil {
+		return e.publishTiered(prev, out, n)
+	}
 	rows := make([]tensor.Vector, n)
 	switch {
 	case prev == nil || e.snap.all:
@@ -138,6 +163,54 @@ func (e *Engine) PublishSnapshot() *Snapshot {
 		s.Epoch = prev.Epoch + 1
 	}
 	e.snap.cur.Store(s)
+	e.snap.tracking = true
+	if len(e.snap.dirty) > 0 {
+		clear(e.snap.dirty)
+	}
+	return s
+}
+
+// publishTiered is the RowStore-backed publication path: changed rows are
+// written (encoded) into the store, the store seals an epoch-stamped view,
+// and the previous snapshot's view is released so its frames become
+// eligible for eviction. Copy-on-write happens inside the store at page
+// granularity; untouched rows keep their previously encoded bytes verbatim
+// so quantization error never compounds across epochs.
+func (e *Engine) publishTiered(prev *Snapshot, out *tensor.Matrix, n int) *Snapshot {
+	st := e.snap.store
+	switch {
+	case prev == nil || e.snap.all:
+		for i := 0; i < n; i++ {
+			st.WriteRow(i, out.Row(i))
+		}
+		e.snap.all = false
+	default:
+		// Rows beyond the previous snapshot (AddNode growth) are all new.
+		for i := prev.NumNodes(); i < n; i++ {
+			st.WriteRow(i, out.Row(i))
+		}
+		for id := range e.snap.dirty {
+			if int(id) < n {
+				st.WriteRow(int(id), out.Row(int(id)))
+			}
+		}
+	}
+	epoch := uint64(1)
+	if prev != nil {
+		epoch = prev.Epoch + 1
+	}
+	s := &Snapshot{
+		Epoch:          epoch,
+		AppliedBatches: e.snap.applied,
+		Nodes:          n,
+		Edges:          e.g.NumEdges(),
+		Conditions:     e.stats,
+		view:           st.Seal(epoch),
+	}
+	e.snap.cur.Store(s)
+	if prev != nil && prev.view != nil {
+		prev.view.Release()
+	}
 	e.snap.tracking = true
 	if len(e.snap.dirty) > 0 {
 		clear(e.snap.dirty)

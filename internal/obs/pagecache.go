@@ -1,0 +1,35 @@
+package obs
+
+// PageCacheStats is a point-in-time snapshot of a paged row store's cache
+// counters. It lives in obs (rather than persist) so the HTTP server can
+// register metric families and render /v1/stats without depending on the
+// storage package, mirroring how the journal is injected as an interface.
+type PageCacheStats struct {
+	// Hits counts row reads served from a resident page payload.
+	Hits uint64 `json:"hits"`
+	// Misses counts row reads that had to fault the page in from disk.
+	Misses uint64 `json:"misses"`
+	// Evictions counts page payloads dropped by the clock sweep.
+	Evictions uint64 `json:"evictions"`
+	// Writebacks counts page generations persisted to the spill file.
+	Writebacks uint64 `json:"writebacks"`
+	// WriteErrors counts failed spill-file writes (the frame stays dirty
+	// and resident; a growing count means the disk is unhealthy).
+	WriteErrors uint64 `json:"write_errors"`
+	// HotBytes is the resident payload footprint; CapBytes the configured
+	// soft cap (0 = uncapped).
+	HotBytes int64 `json:"hot_bytes"`
+	CapBytes int64 `json:"cap_bytes"`
+	// HotPages/TotalPages describe the resident fraction of the page set.
+	HotPages   int `json:"hot_pages"`
+	TotalPages int `json:"total_pages"`
+}
+
+// HitRate returns hits/(hits+misses), or 1 when no reads happened.
+func (s PageCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}

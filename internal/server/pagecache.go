@@ -1,0 +1,65 @@
+package server
+
+import (
+	"repro/internal/obs"
+)
+
+// PageCacheSection is the /v1/stats block describing the tiered row
+// store's cache behaviour; present only when the server was started with
+// a tiered store (EnablePageCache).
+type PageCacheSection struct {
+	obs.PageCacheStats
+	// HitRate is hits/(hits+misses) cumulatively since start.
+	HitRate float64 `json:"hit_rate"`
+	// Quant names the on-page row encoding ("f32", "f16" or "int8").
+	Quant string `json:"quant"`
+	// FaultP99Ms is the p99 page-fault latency in milliseconds.
+	FaultP99Ms float64 `json:"fault_p99_ms"`
+}
+
+// EnablePageCache registers the tiered store's page-cache metric families
+// and the /v1/stats page_cache section. stats samples the store's
+// counters (persist.TieredStore.Stats fits); faultLat must be the same
+// histogram the store observes fault latency into; quant names the
+// on-page encoding. Like the other configuration methods it must be
+// called before serving. The server stays decoupled from the storage
+// package: everything crosses this boundary as obs types, the same way
+// the journal crosses as an interface.
+func (s *Server) EnablePageCache(stats func() obs.PageCacheStats, faultLat *obs.Histogram, quant string) {
+	s.pageStats = stats
+	s.pageFaultLat = faultLat
+	s.pageQuant = quant
+	r := s.reg
+	r.CounterFunc("inkstream_page_cache_hits_total",
+		"Row reads served from a resident page payload (no disk access).",
+		func() float64 { return float64(stats().Hits) })
+	r.CounterFunc("inkstream_page_cache_misses_total",
+		"Row reads that faulted their page in from the spill file.",
+		func() float64 { return float64(stats().Misses) })
+	r.CounterFunc("inkstream_page_cache_evictions_total",
+		"Page payloads dropped by the clock (second-chance) sweep.",
+		func() float64 { return float64(stats().Evictions) })
+	r.CounterFunc("inkstream_page_cache_writebacks_total",
+		"Page generations persisted to the spill file by the background writer.",
+		func() float64 { return float64(stats().Writebacks) })
+	r.CounterFunc("inkstream_page_cache_write_errors_total",
+		"Failed spill-file writes; the affected generation stays dirty and resident.",
+		func() float64 { return float64(stats().WriteErrors) })
+	r.GaugeFunc("inkstream_page_cache_hot_bytes",
+		"Resident encoded payload bytes across all pages.",
+		func() float64 { return float64(stats().HotBytes) })
+	r.GaugeFunc("inkstream_page_cache_cap_bytes",
+		"Configured soft cap on resident payload bytes (0 = uncapped).",
+		func() float64 { return float64(stats().CapBytes) })
+	r.GaugeFunc("inkstream_page_cache_hot_pages",
+		"Pages whose current generation is resident.",
+		func() float64 { return float64(stats().HotPages) })
+	r.GaugeFunc("inkstream_page_cache_pages",
+		"Total pages in the store.",
+		func() float64 { return float64(stats().TotalPages) })
+	if faultLat != nil {
+		r.Histogram("inkstream_page_fault_latency_seconds",
+			"Latency of faulting one page back from the spill file (slot read, verify, decode-ready).",
+			1e-9, faultLat)
+	}
+}

@@ -103,7 +103,12 @@ func (s *Server) ReadEmbedding(node int) (row tensor.Vector, epoch uint64, ok bo
 	if node < 0 || node >= snap.NumNodes() {
 		return nil, snap.Epoch, false
 	}
-	return snap.Row(node), snap.Epoch, true
+	if row = snap.Row(node); row == nil {
+		// Tiered mode only: the row could not be faulted back in (e.g. the
+		// spill file is gone). Treated as unavailable, never served torn.
+		return nil, snap.Epoch, false
+	}
+	return row, snap.Epoch, true
 }
 
 // Snapshot returns the currently published embedding snapshot. Safe from

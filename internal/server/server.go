@@ -105,6 +105,12 @@ type Server struct {
 	// Drift auditor (audit.go).
 	audit      *auditState
 	driftHists []obs.LabeledHistogram
+
+	// Tiered row store observability (pagecache.go); nil in the default
+	// resident configuration.
+	pageStats    func() obs.PageCacheStats
+	pageFaultLat *obs.Histogram
+	pageQuant    string
 }
 
 // Journal records every applied batch before it reaches the engine
@@ -683,6 +689,8 @@ type StatsResponse struct {
 	BytesFetched  int64            `json:"bytes_fetched"`
 	Events        int64            `json:"events_processed"`
 	UpdateLatency LatencyQuantiles `json:"update_latency"`
+	// PageCache describes the tiered row store; nil in resident mode.
+	PageCache *PageCacheSection `json:"page_cache,omitempty"`
 }
 
 // handleStats reads everything from the published snapshot, atomics and
@@ -726,6 +734,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		P95: float64(lat.P95()) * ms,
 		P99: float64(lat.P99()) * ms,
 		Max: float64(lat.Max) * ms,
+	}
+	if s.pageStats != nil {
+		sec := &PageCacheSection{PageCacheStats: s.pageStats(), Quant: s.pageQuant}
+		sec.HitRate = sec.PageCacheStats.HitRate()
+		if s.pageFaultLat != nil {
+			sec.FaultP99Ms = float64(s.pageFaultLat.Snapshot().P99()) * ms
+		}
+		resp.PageCache = sec
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Quant selects the on-page encoding of an embedding row in the tiered
+// store's read-path representation. The write path (the engine's own
+// state) is always full float32; quantization only ever happens when a row
+// is published into a page, from authoritative fp32 values, so error never
+// compounds across epochs.
+type Quant uint8
+
+const (
+	// QuantF32 stores rows bit-exactly as little-endian float32.
+	QuantF32 Quant = iota
+	// QuantF16 stores rows as IEEE-754 binary16 with round-to-nearest-even.
+	QuantF16
+	// QuantI8 stores rows as int8 with one per-row symmetric float32 scale:
+	// layout [scale float32 LE][dim × int8]. The worst-case absolute error
+	// per channel is scale/2 = maxabs/254.
+	QuantI8
+)
+
+// ParseQuant maps a flag value ("f32"/"fp32"/"none", "f16"/"fp16",
+// "i8"/"int8") to a Quant.
+func ParseQuant(s string) (Quant, error) {
+	switch s {
+	case "", "none", "f32", "fp32", "float32":
+		return QuantF32, nil
+	case "f16", "fp16", "half":
+		return QuantF16, nil
+	case "i8", "int8":
+		return QuantI8, nil
+	}
+	return QuantF32, fmt.Errorf("unknown quantization %q (want f32, f16 or int8)", s)
+}
+
+// String returns the canonical flag spelling.
+func (q Quant) String() string {
+	switch q {
+	case QuantF16:
+		return "f16"
+	case QuantI8:
+		return "int8"
+	default:
+		return "f32"
+	}
+}
+
+// RowBytes returns the encoded size of one dim-channel row under q.
+func (q Quant) RowBytes(dim int) int {
+	switch q {
+	case QuantF16:
+		return 2 * dim
+	case QuantI8:
+		return 4 + dim
+	default:
+		return 4 * dim
+	}
+}
+
+// ErrorBound returns the worst-case absolute error per channel introduced
+// by encoding row under q. Zero for QuantF32.
+func (q Quant) ErrorBound(row Vector) float32 {
+	switch q {
+	case QuantF16:
+		// Half precision has 11 significand bits: relative error 2^-11 in
+		// the normal range, so the bound scales with the largest magnitude.
+		return maxAbs(row) / 2048
+	case QuantI8:
+		return maxAbs(row) / 254
+	default:
+		return 0
+	}
+}
+
+func maxAbs(row Vector) float32 {
+	var m float32
+	for _, x := range row {
+		if a := abs32(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// EncodeRow writes row into dst (which must be at least RowBytes(len(row))
+// long) using encoding q.
+func (q Quant) EncodeRow(dst []byte, row Vector) {
+	switch q {
+	case QuantF16:
+		for i, x := range row {
+			binary.LittleEndian.PutUint16(dst[2*i:], F32ToF16(x))
+		}
+	case QuantI8:
+		scale := maxAbs(row) / 127
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(scale))
+		b := dst[4:]
+		if scale == 0 {
+			for i := range row {
+				b[i] = 0
+			}
+			return
+		}
+		for i, x := range row {
+			v := x / scale
+			// Round half away from zero; the symmetric range is [-127,127].
+			if v >= 0 {
+				v += 0.5
+			} else {
+				v -= 0.5
+			}
+			n := int32(v)
+			if n > 127 {
+				n = 127
+			} else if n < -127 {
+				n = -127
+			}
+			b[i] = byte(int8(n))
+		}
+	default:
+		for i, x := range row {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(x))
+		}
+	}
+}
+
+// DecodeRow reads one dim-channel row from src into dst (len(dst) = dim).
+func (q Quant) DecodeRow(dst Vector, src []byte) {
+	switch q {
+	case QuantF16:
+		for i := range dst {
+			dst[i] = F16ToF32(binary.LittleEndian.Uint16(src[2*i:]))
+		}
+	case QuantI8:
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(src))
+		b := src[4:]
+		for i := range dst {
+			dst[i] = float32(int8(b[i])) * scale
+		}
+	default:
+		for i := range dst {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	}
+}
+
+// F32ToF16 converts a float32 to IEEE-754 binary16 with round-to-nearest,
+// ties to even. Values beyond the half range become ±Inf; NaNs are
+// preserved (as quiet NaNs).
+func F32ToF16(x float32) uint16 {
+	bits := math.Float32bits(x)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 15: // overflow → Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal half
+		// 10 mantissa bits survive; round the dropped 13.
+		m := mant >> 13
+		round := mant & 0x1fff
+		h := sign | uint16(exp+15)<<10 | uint16(m)
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			h++ // carries ripple into the exponent correctly
+		}
+		return h
+	case exp >= -25: // subnormal half
+		// Implicit leading 1, shifted right by the exponent deficit.
+		m := mant | 0x800000
+		shift := uint32(-exp - 1) // 13 (exp=-14) .. 24 (exp=-25)
+		dropped := m & (1<<shift - 1)
+		half := uint32(1) << (shift - 1)
+		hm := m >> shift
+		if dropped > half || (dropped == half && hm&1 == 1) {
+			hm++
+		}
+		return sign | uint16(hm)
+	default: // underflow → signed zero
+		return sign
+	}
+}
+
+// F16ToF32 converts an IEEE-754 binary16 value to float32 exactly.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into the float32 format.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}

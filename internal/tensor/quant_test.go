@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseQuant(t *testing.T) {
+	cases := map[string]Quant{
+		"": QuantF32, "none": QuantF32, "f32": QuantF32, "fp32": QuantF32,
+		"f16": QuantF16, "fp16": QuantF16, "half": QuantF16,
+		"i8": QuantI8, "int8": QuantI8,
+	}
+	for in, want := range cases {
+		got, err := ParseQuant(in)
+		if err != nil || got != want {
+			t.Errorf("ParseQuant(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseQuant("bf16"); err == nil {
+		t.Error("ParseQuant(bf16) should fail")
+	}
+}
+
+func TestQuantF32RoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	row := make(Vector, 37)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64() * 100)
+	}
+	row[3] = 0
+	row[5] = float32(math.Inf(1))
+	buf := make([]byte, QuantF32.RowBytes(len(row)))
+	QuantF32.EncodeRow(buf, row)
+	dec := make(Vector, len(row))
+	QuantF32.DecodeRow(dec, buf)
+	if !row.Equal(dec) {
+		t.Fatalf("f32 round trip not bit-exact:\n%v\n%v", row, dec)
+	}
+}
+
+// TestF16KnownValues checks the half conversion against hand-computed
+// IEEE-754 binary16 encodings, including rounding ties and subnormals.
+func TestF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{float32(math.Copysign(0, -1)), 0x8000},
+		{1, 0x3c00},
+		{-2, 0xc000},
+		{65504, 0x7bff},          // largest finite half
+		{65520, 0x7c00},          // rounds up to +Inf
+		{float32(1e9), 0x7c00},   // overflow → Inf
+		{5.9604645e-8, 0x0001},   // smallest subnormal
+		{2.9802322e-8, 0x0000},   // exactly half the smallest subnormal: ties-to-even → 0
+		{6.1035156e-5, 0x0400},   // smallest normal
+		{0.333251953125, 0x3555}, // 1/3 rounded to half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := F32ToF16(c.f); got != c.h {
+			t.Errorf("F32ToF16(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+	}
+	if got := F32ToF16(float32(math.NaN())); got&0x7c00 != 0x7c00 || got&0x3ff == 0 {
+		t.Errorf("F32ToF16(NaN) = %#04x, not a half NaN", got)
+	}
+	if !math.IsNaN(float64(F16ToF32(0x7e00))) {
+		t.Error("F16ToF32(half NaN) is not NaN")
+	}
+}
+
+// TestF16ExactRoundTrip: every half value except NaNs survives
+// half→float→half unchanged, exhaustively over all 65536 encodings.
+func TestF16ExactRoundTrip(t *testing.T) {
+	for i := 0; i < 1<<16; i++ {
+		h := uint16(i)
+		f := F16ToF32(h)
+		if math.IsNaN(float64(f)) {
+			continue
+		}
+		if got := F32ToF16(f); got != h {
+			t.Fatalf("half %#04x → %g → %#04x", h, f, got)
+		}
+	}
+}
+
+func TestF16RoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between half(1.0) and the next half
+	// value; ties-to-even keeps the even mantissa (1.0).
+	x := float32(1) + float32(math.Ldexp(1, -11))
+	if got := F32ToF16(x); got != 0x3c00 {
+		t.Errorf("tie at 1+2^-11 rounded to %#04x, want 0x3c00", got)
+	}
+	// Just above the tie must round up.
+	y := float32(1) + float32(math.Ldexp(1, -11))*1.5
+	if got := F32ToF16(y); got != 0x3c01 {
+		t.Errorf("1+1.5*2^-11 rounded to %#04x, want 0x3c01", got)
+	}
+}
+
+func TestQuantF16WithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	row := make(Vector, 64)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64() * 10)
+	}
+	buf := make([]byte, QuantF16.RowBytes(len(row)))
+	QuantF16.EncodeRow(buf, row)
+	dec := make(Vector, len(row))
+	QuantF16.DecodeRow(dec, buf)
+	bound := QuantF16.ErrorBound(row)
+	for i := range row {
+		if d := abs32(row[i] - dec[i]); d > bound {
+			t.Fatalf("channel %d: |%g-%g| = %g exceeds bound %g", i, row[i], dec[i], d, bound)
+		}
+	}
+}
+
+func TestQuantI8WithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	row := make(Vector, 64)
+	for i := range row {
+		row[i] = float32(rng.NormFloat64() * 5)
+	}
+	buf := make([]byte, QuantI8.RowBytes(len(row)))
+	QuantI8.EncodeRow(buf, row)
+	dec := make(Vector, len(row))
+	QuantI8.DecodeRow(dec, buf)
+	bound := QuantI8.ErrorBound(row)
+	if bound <= 0 {
+		t.Fatal("expected positive error bound for a nonzero row")
+	}
+	for i := range row {
+		if d := abs32(row[i] - dec[i]); d > bound {
+			t.Fatalf("channel %d: |%g-%g| = %g exceeds bound %g", i, row[i], dec[i], d, bound)
+		}
+	}
+	// Extremes of the symmetric range survive exactly.
+	m := maxAbs(row)
+	for i := range row {
+		if row[i] == m || row[i] == -m {
+			if abs32(row[i]-dec[i]) > m/254 {
+				t.Fatalf("max-magnitude channel decoded to %g, want ~%g", dec[i], row[i])
+			}
+		}
+	}
+}
+
+func TestQuantI8ZeroRow(t *testing.T) {
+	row := make(Vector, 8)
+	buf := make([]byte, QuantI8.RowBytes(len(row)))
+	for i := range buf {
+		buf[i] = 0xff // dirty buffer: encode must fully overwrite
+	}
+	QuantI8.EncodeRow(buf, row)
+	dec := make(Vector, len(row))
+	QuantI8.DecodeRow(dec, buf)
+	for i := range dec {
+		if dec[i] != 0 {
+			t.Fatalf("zero row decoded channel %d = %g", i, dec[i])
+		}
+	}
+}
+
+func TestQuantRowBytes(t *testing.T) {
+	if QuantF32.RowBytes(16) != 64 || QuantF16.RowBytes(16) != 32 || QuantI8.RowBytes(16) != 20 {
+		t.Fatalf("RowBytes mismatch: %d %d %d",
+			QuantF32.RowBytes(16), QuantF16.RowBytes(16), QuantI8.RowBytes(16))
+	}
+}

@@ -14,6 +14,10 @@
 #     exchange against greedy partitioning + subscription-filtered,
 #     boundary-first delivery at 4 and 8 shards, with the per-round
 #     delivered-record reduction computed from the two runs.
+#   BENCH_pr9.json — the tiered-store working-set sweep: the embedding
+#     footprint served at 1x/2x/4x/10x of the memory cap under a mixed
+#     update + Zipf-read stream, fp32 and int8 page encodings, every read
+#     audited against the resident baseline.
 # Run from the repo root; takes a couple of minutes on a small container.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,7 +30,9 @@ bcastout=$(mktemp)
 filtout=$(mktemp)
 scbcastout=$(mktemp)
 scfiltout=$(mktemp)
-trap 'rm -f "$benchout" "$burstout" "$shardout" "$bcastout" "$filtout" "$scbcastout" "$scfiltout"' EXIT
+tierf32out=$(mktemp)
+tieri8out=$(mktemp)
+trap 'rm -f "$benchout" "$burstout" "$shardout" "$bcastout" "$filtout" "$scbcastout" "$scfiltout" "$tierf32out" "$tieri8out"' EXIT
 
 go test -run '^$' -bench 'BenchmarkApply$|BenchmarkApplyShardedGrouping|BenchmarkApplySequentialGrouping' \
     -benchmem ./internal/inkstream | tee "$benchout"
@@ -217,3 +223,60 @@ $(points8 "$scfiltout")
 JSON
 echo "wrote $out8"
 cat "$out8"
+
+# ---------------------------------------------------------------------------
+# PR9: the tiered-store working-set sweep. The full embedding footprint is
+# served at 1x/2x/4x/10x of the page-cache cap (factor 0 is the all-resident
+# baseline) under a mixed update + Zipf-skewed read stream; every read is
+# audited inside the sweep against the resident reference of the same batch
+# (bit-exact for fp32 pages, within the codec error bound for int8), so a
+# run that completes IS the correctness check. The quick Yelp profile keeps
+# a footprint large enough for real eviction pressure at 4x and 10x.
+
+out9=BENCH_pr9.json
+run9() { # run9 OUTFILE QUANT
+    go run ./cmd/inkbench -quick -datasets YP -mixed-updates 120 \
+        -tiered-factors 1,2,4,10 -tiered-reads 32 -tiered-quant "$2" tiered | tee "$1"
+}
+run9 "$tierf32out" f32
+run9 "$tieri8out" int8
+
+# points9 FILE — render one sweep's tiered-sweep lines as JSON objects.
+points9() {
+    awk '/tiered-sweep:/ {
+        delete m
+        for (i = 1; i <= NF; i++) if (split($i, kv, "=") == 2) m[kv[1]] = kv[2]
+        printf "%s      {\"working_set_over_cap\": %s, \"cap_kib\": %s, \"updates_per_sec\": %s, \"read_p50\": \"%s\", \"read_p99\": \"%s\", \"hit_rate\": %s, \"fault_p99\": \"%s\", \"evictions\": %s, \"hot_kib\": %s, \"accuracy\": \"%s\"}",
+            sep, m["factor"], m["cap-kb"], m["upd/s"], m["read-p50"], m["read-p99"],
+            m["hit"], m["fault-p99"], m["evictions"], m["hot-kb"], $NF
+        sep = ",\n"
+    }' "$1"
+}
+
+# footprint FILE — the encoded footprint (KiB) from the sweep header.
+footprint() {
+    awk -F'= | KiB' '/^Tiered working-set sweep/ { print $2; exit }' "$1"
+}
+
+cat > "$out9" <<JSON
+{
+  "generated_by": "scripts/bench_snapshot.sh",
+  "host_cpus": $(nproc),
+  "scenario": "quick Yelp profile, 120 update batches, 32 Zipf-skewed audited reads per batch, factors 1/2/4/10 of the cap (factor 0 = resident baseline)",
+  "note": "every read is audited in-run against the resident reference of the same batch: accuracy=bit-exact means fp32 pages matched bitwise, within-tol means every int8 channel stayed inside the codec's worst-case error bound; hit_rate and evictions are cumulative per point, fault_p99 is the page-fault (disk read + decode + attach) latency; hot_kib is sampled right after the final seal and can exceed cap_kib under write-heavy load — dirty pages are not evictable until written back, the clock enforces the cap over clean pages on its 20ms cadence",
+  "f32": {
+    "footprint_kib": $(footprint "$tierf32out"),
+    "points": [
+$(points9 "$tierf32out")
+    ]
+  },
+  "int8": {
+    "footprint_kib": $(footprint "$tieri8out"),
+    "points": [
+$(points9 "$tieri8out")
+    ]
+  }
+}
+JSON
+echo "wrote $out9"
+cat "$out9"

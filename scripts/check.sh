@@ -37,6 +37,13 @@ go test -race -count=1 -run 'TestCrossShardBitExact|TestRouterConcurrentWriters'
 go test -race -count=1 -run 'TestSubscription|TestSplitRound|TestGhostRow' \
     ./internal/shard ./internal/inkstream
 
+# The PR9 tiered row store serves lock-free reads while the writer seals
+# epochs and the background worker writes back and evicts frames; the
+# whole store surface (publication seam, fault/evict races, crash
+# recovery, server page-cache stats) gets a fresh race run.
+go test -race -count=1 -run 'TestTiered|TestSetRowStore|TestPageCache' \
+    ./internal/persist ./internal/inkstream ./internal/server ./internal/experiments
+
 # The PR7 round profiler and burn-rate alerting touch every shard's stage
 # timings from the round goroutine while HTTP readers snapshot them, so
 # they get fresh race runs too.
