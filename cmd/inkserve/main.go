@@ -17,7 +17,11 @@
 // (GET /v1/traces, tune with -trace-ring/-trace-sample), the in-process
 // time-series window (GET /v1/timeseries) and the continuous drift audit
 // (-audit-every, reported by /healthz together with the -slo ack-latency
-// objective) are on by default (DESIGN.md §10).
+// objective) are on by default (DESIGN.md §10). -blackbox <dir> arms the
+// incident black box: post-mortem bundles are auto-captured on alert
+// firing, drift-audit failure or round fail-stop, served on demand at
+// GET /debug/bundle, and rendered offline with inkstat -postmortem
+// (DESIGN.md §15).
 //
 // With -save-bundle the bootstrapped engine is persisted before serving,
 // so a later -bundle start skips the initial full-graph inference. See
@@ -101,6 +105,9 @@ func buildServer(args []string) (http.Handler, string, error) {
 		auditEvery  = fs.Uint64("audit-every", 256, "shadow-recompute a drift audit every N applied updates (0 disables)")
 		auditSample = fs.Int("audit-sample", 16, "nodes shadow-recomputed per drift audit")
 		auditTol    = fs.Float64("audit-tol", 0, "max abs drift tolerated by the audit (0 keeps the default 2e-3)")
+
+		blackboxDir      = fs.String("blackbox", "", "incident black box dump directory: auto-capture post-mortem bundles on alert firing, audit failure or fail-stop, and serve GET /debug/bundle (empty disables)")
+		blackboxProfiles = fs.Bool("blackbox-profiles", false, "include pprof heap and goroutine profiles in captured bundles (requires -blackbox)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
@@ -215,6 +222,12 @@ func buildServer(args []string) (http.Handler, string, error) {
 		if *slo > 0 {
 			rt.SetHealthSLO(*slo)
 			log.Printf("healthz SLO: ack p99 <= %v (burn-rate alerts at /v1/alerts)", *slo)
+		}
+		if *blackboxDir != "" {
+			rt.EnableBlackBox(obs.BlackBoxConfig{Dir: *blackboxDir, Profiles: *blackboxProfiles})
+			log.Printf("incident black box: bundles under %s (GET /debug/bundle for on-demand capture)", *blackboxDir)
+		} else if *blackboxProfiles {
+			return nil, "", fmt.Errorf("-blackbox-profiles requires -blackbox")
 		}
 		handler := withPprof(rt.Handler(), *pprofOn)
 		return handler, *addr, nil
@@ -354,6 +367,12 @@ func buildServer(args []string) (http.Handler, string, error) {
 	if *auditEvery > 0 {
 		srv.EnableDriftAudit(*auditEvery, *auditSample, float32(*auditTol))
 		log.Printf("drift audit: every %d updates, %d nodes sampled", *auditEvery, *auditSample)
+	}
+	if *blackboxDir != "" {
+		srv.EnableBlackBox(obs.BlackBoxConfig{Dir: *blackboxDir, Profiles: *blackboxProfiles})
+		log.Printf("incident black box: bundles under %s (GET /debug/bundle for on-demand capture)", *blackboxDir)
+	} else if *blackboxProfiles {
+		return nil, "", fmt.Errorf("-blackbox-profiles requires -blackbox")
 	}
 	handler := withPprof(srv.Handler(), *pprofOn)
 	return handler, *addr, nil

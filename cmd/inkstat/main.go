@@ -2,13 +2,15 @@
 // saved snapshot: size, degree distribution and k-hop neighborhood growth
 // — the quantities that drive InkStream's affected-area behaviour. With
 // -watch it instead polls a running inkserve's /metrics endpoint and
-// prints a one-line rolling serving summary per interval.
+// prints a one-line rolling serving summary per interval; with -postmortem
+// it renders a captured incident bundle offline (no live server needed).
 //
 // Usage:
 //
 //	inkstat -dataset Cora
 //	inkstat -file cora.inks -khop 3
 //	inkstat -watch http://localhost:8080 -interval 2s
+//	inkstat -postmortem /var/lib/inkstream/blackbox
 package main
 
 import (
@@ -43,9 +45,14 @@ func run(args []string) error {
 		watch    = fs.String("watch", "", "inkserve base URL to poll for a rolling /metrics summary (alternative to -dataset/-file)")
 		interval = fs.Duration("interval", 2*time.Second, "polling interval with -watch")
 		samples  = fs.Int("samples", 0, "stop after this many -watch lines (0 runs forever)")
+
+		postmortem = fs.String("postmortem", "", "incident bundle (or dump root) to render offline (alternative to -watch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *postmortem != "" {
+		return renderPostmortem(os.Stdout, *postmortem)
 	}
 	if *watch != "" {
 		return watchLoop(os.Stdout, *watch, *interval, *samples)

@@ -137,7 +137,7 @@ func summaryLine(s obs.Samples) string {
 	return fmt.Sprintf("serving: epoch=%.0f  lag=%.0f  updates=%.0f  reads=%.0f  group-commits=%.0f (avg batch %.1f)  fused=%.1f  stalls=%.0f",
 		get("inkstream_snapshot_epoch"), get("inkstream_snapshot_lag_batches"),
 		get("inkstream_updates_total"), get("inkstream_reads_total"),
-		gcCount, gcMean, coMean, get("inkstream_coalesce_stalls_total")) + shardSuffix(s) + tieredSuffix(nil, s)
+		gcCount, gcMean, coMean, get("inkstream_coalesce_stalls_total")) + shardSuffix(s) + tieredSuffix(nil, s) + runtimeSuffix(nil, s)
 }
 
 // shardSuffix appends the partitioned-deployment fields when the scrape
@@ -265,6 +265,40 @@ func tieredSuffix(prev, cur obs.Samples) string {
 	return out
 }
 
+// runtimeSuffix appends the Go runtime columns when the scrape exports the
+// inkstream_runtime_* families: heap in use, goroutine count, GC CPU share
+// and (when prev is given, windowed) the p99 GC pause. Servers without the
+// runtime plane — or with it disabled — simply omit the columns.
+func runtimeSuffix(prev, cur obs.Samples) string {
+	heap, ok := cur.Get("inkstream_runtime_heap_inuse_bytes")
+	if !ok {
+		return ""
+	}
+	gor, _ := cur.Get("inkstream_runtime_goroutines")
+	frac, _ := cur.Get("inkstream_runtime_gc_cpu_fraction")
+	out := fmt.Sprintf("  heap=%.1fMB  gor=%.0f  gc-cpu=%.1f%%", heap/(1<<20), gor, 100*frac)
+	les, cumCur := cur.Buckets("inkstream_runtime_gc_pause_seconds")
+	if len(les) > 0 {
+		p99 := 0.0
+		if prev != nil {
+			if _, cumPrev := prev.Buckets("inkstream_runtime_gc_pause_seconds"); len(cumPrev) == len(cumCur) {
+				dcum := make([]float64, len(cumCur))
+				for i := range dcum {
+					dcum[i] = cumCur[i] - cumPrev[i]
+				}
+				p99 = obs.BucketQuantile(les, dcum, 0.99)
+			}
+		}
+		if p99 == 0 { // no pauses in the window: all-time distribution
+			p99 = obs.BucketQuantile(les, cumCur, 0.99)
+		}
+		if p99 > 0 {
+			out += fmt.Sprintf("  gc-pause=%s", fmtSeconds(p99))
+		}
+	}
+	return out
+}
+
 // topStraggler returns the shard label with the most straggler rounds in
 // cur minus prev (prev nil means cumulative) and that count.
 func topStraggler(prev, cur obs.Samples) (string, float64) {
@@ -341,7 +375,7 @@ func watchLine(prev, cur obs.Samples, dt time.Duration) string {
 	return fmt.Sprintf("upd/s=%.1f  p99=%s  events/s=%.0f  pruned=%.1f%%  pending=%.0f  epoch=%.0f  lag=%.0f  reads/s=%.1f  gc=%.1f  fused=%.1f  stalls=%.0f",
 		updates/secs, fmtSeconds(p99), events/secs, 100*prunedRatio, pending,
 		epoch, lag, delta("inkstream_reads_total")/secs, gcBatch, fused,
-		delta("inkstream_coalesce_stalls_total")) + shardWatchSuffix(prev, cur) + tieredSuffix(prev, cur)
+		delta("inkstream_coalesce_stalls_total")) + shardWatchSuffix(prev, cur) + tieredSuffix(prev, cur) + runtimeSuffix(prev, cur)
 }
 
 // visitRatio returns the windowed share of node visits resolved as cond,

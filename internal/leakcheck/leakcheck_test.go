@@ -1,0 +1,47 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOwnedGoroutinesDetectsLeak: a goroutine parked inside a repro
+// function is reported; after it exits the report is clean.
+func TestOwnedGoroutinesDetectsLeak(t *testing.T) {
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go leakyWorker(ready, release, done)
+	<-ready // the goroutine is inside leakyWorker (a repro/ frame) now
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if gs := ownedGoroutines(); len(gs) > 0 {
+			if !strings.Contains(strings.Join(gs, ""), "leakyWorker") {
+				t.Fatalf("leak report misses leakyWorker:\n%s", strings.Join(gs, "\n\n"))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("parked repro goroutine never reported")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	deadline = time.Now().Add(2 * time.Second)
+	for len(ownedGoroutines()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("report still dirty after worker exit:\n%s",
+				strings.Join(ownedGoroutines(), "\n\n"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+//go:noinline
+func leakyWorker(ready, release, done chan struct{}) {
+	close(ready)
+	<-release
+	close(done)
+}

@@ -93,6 +93,7 @@ type AlertEngine struct {
 	alerts      []*alertInst
 	evals       int64
 	transitions int64
+	onFiring    []func(name, reason string)
 }
 
 // NewAlertEngine binds an engine to the sampler whose series the rules
@@ -140,12 +141,25 @@ func (e *AlertEngine) Rules() []AlertRule {
 	return out
 }
 
+// OnFiring registers fn to run whenever an alert transitions into the
+// firing state (pending→firing or resolved→firing), with the alert name
+// and a rendered reason. Hooks run after the evaluation pass, outside the
+// engine lock, on the evaluating goroutine (the sampler tick) — they must
+// not block; the black box capture trigger enqueues and returns. Register
+// before the sampler starts.
+func (e *AlertEngine) OnFiring(fn func(name, reason string)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onFiring = append(e.onFiring, fn)
+}
+
 // Eval advances every alert by one evaluation against the sampler window.
 // Called automatically per sampler tick; exported so tests (and servers
 // driving Tick by hand) stay deterministic.
 func (e *AlertEngine) Eval() {
+	type firedAlert struct{ name, reason string }
+	var fired []firedAlert
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.evals++
 	now := time.Now()
 	for _, a := range e.alerts {
@@ -175,6 +189,7 @@ func (e *AlertEngine) Eval() {
 				a.to(AlertInactive, now, e)
 			} else if a.breaches++; a.breaches > a.forTicks {
 				a.to(AlertFiring, now, e)
+				fired = append(fired, firedAlert{a.rule.Name, a.firingReason()})
 			}
 		case AlertFiring:
 			if !breach {
@@ -184,11 +199,32 @@ func (e *AlertEngine) Eval() {
 		case AlertResolved:
 			if breach {
 				a.to(AlertFiring, now, e)
+				fired = append(fired, firedAlert{a.rule.Name, a.firingReason()})
 			} else if a.clears++; a.clears > a.hold {
 				a.to(AlertInactive, now, e)
 			}
 		}
 	}
+	hooks := e.onFiring
+	e.mu.Unlock()
+	for _, f := range fired {
+		for _, fn := range hooks {
+			fn(f.name, f.reason)
+		}
+	}
+}
+
+// firingReason renders the degraded-health line for one alert; callers hold
+// the engine lock.
+func (a *alertInst) firingReason() string {
+	worst := 0.0
+	for _, b := range a.burn {
+		if b > worst {
+			worst = b
+		}
+	}
+	return fmt.Sprintf("alert %s firing: %s over %g, burn rate %.1fx budget",
+		a.rule.Name, a.rule.Series, a.rule.Target, worst)
 }
 
 func (a *alertInst) to(s AlertState, now time.Time, e *AlertEngine) {
@@ -220,14 +256,7 @@ func (e *AlertEngine) FiringReasons() []string {
 		if a.state != AlertFiring {
 			continue
 		}
-		worst := 0.0
-		for _, b := range a.burn {
-			if b > worst {
-				worst = b
-			}
-		}
-		out = append(out, fmt.Sprintf("alert %s firing: %s over %g, burn rate %.1fx budget",
-			a.rule.Name, a.rule.Series, a.rule.Target, worst))
+		out = append(out, a.firingReason())
 	}
 	return out
 }

@@ -74,6 +74,12 @@ type ReqTrace struct {
 	// deployments only; 0 = not round-executed). Matches a RoundTrace.ID,
 	// so /v1/traces rows can be joined against /v1/rounds.
 	Round uint64
+	// GCPause is the total stop-the-world GC pause time that overlapped the
+	// request's submit→ack window (0 when none did, or when runtime
+	// telemetry is disabled) — the annotation that resolves an ack-latency
+	// exemplar landing in a fat bucket to "the runtime froze the pipeline",
+	// not "the application was slow".
+	GCPause time.Duration
 	// Sampled and Slow report why the trace was recorded.
 	Sampled, Slow bool
 	// Engine is the engine-side per-layer trace of the apply that covered
@@ -143,6 +149,7 @@ type reqTraceJSON struct {
 	TotalUS      float64         `json:"total_us"`
 	Spans        []spanJSONEntry `json:"spans"`
 	SlowestStage string          `json:"slowest_stage"`
+	GCPauseUS    float64         `json:"gc_pause_us,omitempty"`
 	Err          string          `json:"error,omitempty"`
 	Sampled      bool            `json:"sampled,omitempty"`
 	Slow         bool            `json:"slow,omitempty"`
@@ -162,6 +169,7 @@ func (t *ReqTrace) MarshalJSON() ([]byte, error) {
 		Fused:        t.Fused,
 		TotalUS:      us(t.Total),
 		SlowestStage: slowest.String(),
+		GCPauseUS:    us(t.GCPause),
 		Err:          t.Err,
 		Sampled:      t.Sampled,
 		Slow:         t.Slow,
@@ -186,6 +194,9 @@ func (t *ReqTrace) String() string {
 		t.Total.Round(time.Microsecond), slowest)
 	if t.Round != 0 {
 		s += " round=" + TraceIDString(t.Round)
+	}
+	if t.GCPause > 0 {
+		s += fmt.Sprintf(" gc_pause=%v", t.GCPause.Round(time.Microsecond))
 	}
 	for _, sp := range t.Spans() {
 		s += fmt.Sprintf(" %s=%v", sp.Stage, sp.D.Round(time.Microsecond))

@@ -108,6 +108,27 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a latency in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 
+// ObserveN records value v n times in one pass — three atomic adds instead
+// of n Observe calls. The runtime bridge uses it to fold whole buckets of
+// the stdlib's cumulative histograms (scheduler latencies arrive thousands
+// per tick under load). n <= 0 is a no-op.
+func (h *Histogram) ObserveN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.bucketIndex(v)].Add(n)
+	h.sum.Add(v * n)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // EnableExemplars allocates the per-bucket exemplar slots. Call once at
 // wiring time, before concurrent use; Exemplar stores are no-ops until
 // then, so unexemplared histograms pay nothing.

@@ -216,6 +216,69 @@ func TestRoundAndAlertFamiliesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRuntimeAndBlackBoxFamiliesRoundTrip extends the exposition contract
+// to the PR-10 families: the runtime telemetry plane's gauges, counters and
+// pause/sched histograms, and the black box capture counters.
+func TestRuntimeAndBlackBoxFamiliesRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	rt := NewRuntime()
+	rt.Collect()
+	rt.Register(r)
+
+	bb := NewBlackBox(BlackBoxConfig{Dir: t.TempDir(), Debounce: -1,
+		Source: BlackBoxSource{Runtime: rt}})
+	defer bb.Close()
+	bb.Register(r)
+	if _, err := bb.Capture("manual", ""); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+
+	if v, ok := samples.Get("inkstream_runtime_heap_inuse_bytes"); !ok || v <= 0 {
+		t.Errorf("heap gauge: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_runtime_goroutines"); !ok || v < 1 {
+		t.Errorf("goroutines gauge: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_runtime_gc_cycles_total"); !ok || v < 0 {
+		t.Errorf("gc cycles counter: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_runtime_collects_total"); !ok || v < 1 {
+		t.Errorf("collects counter: got %v ok=%v", v, ok)
+	}
+	// Both runtime histograms expose well-formed cumulative bucket series.
+	for _, fam := range []string{"inkstream_runtime_gc_pause_seconds", "inkstream_runtime_sched_latency_seconds"} {
+		les, cum := samples.Buckets(fam)
+		if len(les) == 0 || !math.IsInf(les[len(les)-1], 1) {
+			t.Fatalf("%s buckets must end at +Inf: %v", fam, les)
+		}
+		for i := 1; i < len(cum); i++ {
+			if cum[i] < cum[i-1] {
+				t.Fatalf("%s buckets not cumulative: %v", fam, cum)
+			}
+		}
+	}
+
+	if v, ok := samples.Get("inkstream_blackbox_captures_total"); !ok || v != 1 {
+		t.Errorf("blackbox captures: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_blackbox_errors_total"); !ok || v != 0 {
+		t.Errorf("blackbox errors: got %v ok=%v", v, ok)
+	}
+	if v, ok := samples.Get("inkstream_blackbox_last_capture_timestamp_seconds"); !ok || v <= 0 {
+		t.Errorf("blackbox last capture: got %v ok=%v", v, ok)
+	}
+}
+
 // TestParseExemplarErrors: malformed exemplar annotations must be rejected,
 // not silently dropped.
 func TestParseExemplarErrors(t *testing.T) {

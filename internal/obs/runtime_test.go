@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollect: one collection populates every published quantity
+// from live runtime/metrics — heap, goroutines, GC cycle count — and Stats
+// forces a fresh read so a bundle captured between ticks is current.
+func TestRuntimeCollect(t *testing.T) {
+	r := NewRuntime()
+	runtime.GC() // guarantee at least one completed cycle
+	st := r.Stats()
+	if st.Collects < 1 {
+		t.Fatalf("collects = %d, want >= 1", st.Collects)
+	}
+	if st.HeapInuseBytes == 0 {
+		t.Error("heap in-use is zero")
+	}
+	if st.MemTotalBytes < st.HeapInuseBytes {
+		t.Errorf("total %d < heap %d", st.MemTotalBytes, st.HeapInuseBytes)
+	}
+	if st.Goroutines < 1 {
+		t.Errorf("goroutines = %d", st.Goroutines)
+	}
+	if st.GCCycles < 1 {
+		t.Errorf("gc cycles = %d, want >= 1 after runtime.GC", st.GCCycles)
+	}
+	if st.GCPauseMaxUS < st.GCPauseP99US || st.GCPauseP99US < st.GCPauseP50US {
+		t.Errorf("pause quantiles not ordered: p50=%v p99=%v max=%v",
+			st.GCPauseP50US, st.GCPauseP99US, st.GCPauseMaxUS)
+	}
+}
+
+// TestRuntimeDisabled: SetEnabled(false) turns Collect into a no-op — the
+// zero-overhead off-path the overhead gate benchmarks.
+func TestRuntimeDisabled(t *testing.T) {
+	r := NewRuntime()
+	r.SetEnabled(false)
+	r.Collect()
+	if got := r.collects.Load(); got != 0 {
+		t.Fatalf("disabled collector ran %d collections", got)
+	}
+	r.SetEnabled(true)
+	r.Collect()
+	if got := r.collects.Load(); got != 1 {
+		t.Fatalf("re-enabled collector ran %d collections, want 1", got)
+	}
+}
+
+// TestGCPauseOverlap: the overlap query returns the pause time inside the
+// request window, using synthetic windows for determinism.
+func TestGCPauseOverlap(t *testing.T) {
+	r := NewRuntime()
+	base := time.Unix(1000, 0)
+	r.setPauseWindows([]GCPauseWindow{
+		{Start: base, End: base.Add(2 * time.Millisecond)},
+		{Start: base.Add(10 * time.Millisecond), End: base.Add(13 * time.Millisecond)},
+	})
+	cases := []struct {
+		name       string
+		start, end time.Time
+		want       time.Duration
+	}{
+		{"covers both", base.Add(-time.Millisecond), base.Add(20 * time.Millisecond), 5 * time.Millisecond},
+		{"first only", base, base.Add(2 * time.Millisecond), 2 * time.Millisecond},
+		{"partial second", base.Add(11 * time.Millisecond), base.Add(12 * time.Millisecond), time.Millisecond},
+		{"between pauses", base.Add(3 * time.Millisecond), base.Add(9 * time.Millisecond), 0},
+		{"before all", base.Add(-10 * time.Millisecond), base.Add(-5 * time.Millisecond), 0},
+	}
+	for _, c := range cases {
+		if got := r.GCPauseOverlap(c.start, c.end); got != c.want {
+			t.Errorf("%s: overlap = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// Nil-safety: a server without the runtime plane annotates zero.
+	var nilR *Runtime
+	if got := nilR.GCPauseOverlap(base, base.Add(time.Second)); got != 0 {
+		t.Errorf("nil runtime overlap = %v", got)
+	}
+}
+
+// TestRuntimeInstall: the sampler series exist after Install and carry live
+// values after a tick.
+func TestRuntimeInstall(t *testing.T) {
+	r := NewRuntime()
+	s := NewSampler(time.Second, 16)
+	r.Install(s)
+	s.Tick()
+	s.Tick()
+	snap := s.Snapshot()
+	want := map[string]bool{
+		"heap_mb": false, "goroutines": false, "gc_cpu_pct": false,
+		"gc_pause_ms": false, "sched_p99_ms": false,
+	}
+	for _, series := range snap.Series {
+		if _, ok := want[series.Name]; ok {
+			want[series.Name] = true
+			if len(series.Samples) != 2 {
+				t.Errorf("%s: %d samples, want 2", series.Name, len(series.Samples))
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("series %s not installed", name)
+		}
+	}
+	// heap_mb must be a real (positive) reading.
+	var heap []float64
+	for _, series := range snap.Series {
+		if series.Name == "heap_mb" {
+			heap = series.Samples
+		}
+	}
+	if len(heap) == 0 || heap[len(heap)-1] <= 0 {
+		t.Errorf("heap_mb samples = %v, want positive", heap)
+	}
+}

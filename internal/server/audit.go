@@ -44,6 +44,10 @@ type auditState struct {
 	lastFailed atomic.Bool
 	driftBits  atomic.Uint64 // float64 bits of the most recent audit's drift
 
+	// onFailure, when set (EnableBlackBox), runs on each failed audit with
+	// the failure detail — the black box capture trigger. Set before serving.
+	onFailure func(reason string)
+
 	done chan struct{} // closed when the loop exits; nil when never started
 }
 
@@ -152,9 +156,20 @@ func (s *Server) AuditNow(sample int) (baseline.ShadowResult, error) {
 	if n == 0 {
 		return baseline.ShadowResult{}, fmt.Errorf("drift audit: empty graph")
 	}
-	targets := make([]graph.NodeID, sample)
-	for i := range targets {
-		targets[i] = graph.NodeID(a.rng.Intn(n))
+	if sample > n {
+		sample = n
+	}
+	// Distinct targets: duplicates would collapse in the shadow's node set
+	// and under-report the sampled count.
+	targets := make([]graph.NodeID, 0, sample)
+	seen := make(map[graph.NodeID]struct{}, sample)
+	for len(targets) < sample {
+		v := graph.NodeID(a.rng.Intn(n))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		targets = append(targets, v)
 	}
 	// Phase 1: capture on the apply stage (exclusive, cheap — clones the
 	// cone's adjacency and feature/output rows, no inference).
@@ -187,9 +202,13 @@ func (s *Server) AuditNow(sample int) (baseline.ShadowResult, error) {
 	if res.MaxAbsDiff > a.tol {
 		a.failures.Add(1)
 		a.lastFailed.Store(true)
-		return res, fmt.Errorf(
+		err := fmt.Errorf(
 			"drift audit: max abs drift %g over tolerance %g at node %d (epoch %d, %d/%d nodes sampled/recomputed)",
 			res.MaxAbsDiff, a.tol, res.WorstNode, sh.Epoch, res.Nodes, res.ClosureNodes)
+		if a.onFailure != nil {
+			a.onFailure(err.Error())
+		}
+		return res, err
 	}
 	a.lastFailed.Store(false)
 	return res, nil

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Incident black box wiring (DESIGN.md §15). EnableBlackBox arms automatic
+// post-mortem capture on the two incident signals a single-engine
+// deployment has — a burn-rate alert transitioning to firing and a drift
+// audit failure — and exposes the same snapshot on demand at
+// GET /debug/bundle.
+
+// BlackBoxInfo is the deployment-shape block written into each bundle's
+// config.json; inkstat -postmortem prints it as the incident header.
+type BlackBoxInfo struct {
+	Deployment  string  `json:"deployment"`
+	Shards      int     `json:"shards"`
+	SLOMS       float64 `json:"slo_ms,omitempty"`
+	SampleEvery int     `json:"trace_sample_every,omitempty"`
+	Coalescing  bool    `json:"coalescing"`
+}
+
+// EnableBlackBox arms the incident black box: cfg.Dir names the dump
+// directory; cfg.Source is filled in by the server (any caller-provided
+// Config payload is kept). Automatic captures trigger on alert
+// pending→firing and on drift-audit failure, debounced per cfg. Call before
+// serving; captured bundles are read back with obs.LoadDump or
+// inkstat -postmortem.
+func (s *Server) EnableBlackBox(cfg obs.BlackBoxConfig) *obs.BlackBox {
+	cfg.Source.Flight = s.flight
+	cfg.Source.Sampler = s.sampler
+	cfg.Source.Alerts = s.alerts
+	cfg.Source.Runtime = s.runtime
+	if cfg.Source.Config == nil {
+		info := BlackBoxInfo{
+			Deployment: "single-engine",
+			Shards:     1,
+			SLOMS:      float64(s.sloNS.Load()) / 1e6,
+			Coalescing: s.coalesce.Load(),
+		}
+		if s.flight != nil {
+			info.SampleEvery = s.flight.SampleEvery()
+		}
+		cfg.Source.Config = info
+	}
+	bb := obs.NewBlackBox(cfg)
+	s.blackbox = bb
+	bb.Register(s.reg)
+	s.alerts.OnFiring(func(name, reason string) {
+		bb.Trigger("alert-"+name, reason)
+	})
+	s.audit.onFailure = func(reason string) {
+		bb.Trigger("audit-failure", reason)
+	}
+	return bb
+}
+
+// BlackBox exposes the black box (nil until EnableBlackBox).
+func (s *Server) BlackBox() *obs.BlackBox { return s.blackbox }
+
+// handleBundle serves GET /debug/bundle: an on-demand tar.gz capture of the
+// full observability state.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	if s.blackbox == nil {
+		httpError(w, http.StatusNotImplemented, "black box not enabled")
+		return
+	}
+	s.blackbox.ServeHTTP(w, r)
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/leakcheck"
+	"repro/internal/obs"
+)
+
+// TestBlackBoxIncidentBundle is the acceptance path: an SLO breach drives
+// an alert to firing, the firing transition auto-captures a bundle, the
+// server is closed mid-incident (Close drains the capture queue), and the
+// bundle on disk loads back with the right trigger, traces and runtime
+// series — the killed-run post-mortem contract.
+func TestBlackBoxIncidentBundle(t *testing.T) {
+	leakcheck.Check(t)
+	srv, eng := newObsServer(t)
+	srv.SetTraceSampling(64, 1)
+	dir := t.TempDir()
+	srv.EnableBlackBox(obs.BlackBoxConfig{Dir: dir, Debounce: -1})
+
+	srv.SetHealthSLO(time.Nanosecond)
+	edges := absentEdges(t, eng.Graph(), 4)
+	for _, e := range edges {
+		if err := srv.Apply(graph.Delta{{U: e.U, V: e.V, Insert: true}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		srv.Sampler().Tick()
+	}
+	if len(srv.Alerts().Firing()) == 0 {
+		t.Fatal("no alert firing after sustained SLO breaches")
+	}
+	// Kill the run mid-incident: Close must drain the queued capture.
+	srv.Close()
+
+	d, err := obs.LoadDump(dir)
+	if err != nil {
+		t.Fatalf("no loadable bundle after incident+close: %v", err)
+	}
+	if !strings.HasPrefix(d.Manifest.Trigger, "alert-") {
+		t.Errorf("trigger %q, want alert-*", d.Manifest.Trigger)
+	}
+	if !strings.Contains(d.Manifest.Reason, "firing") {
+		t.Errorf("reason %q does not explain the firing", d.Manifest.Reason)
+	}
+	if len(d.Traces) == 0 {
+		t.Error("bundle has no traces")
+	}
+	if d.Runtime == nil || d.Runtime.HeapInuseBytes == 0 {
+		t.Errorf("bundle runtime section: %+v", d.Runtime)
+	}
+	if d.Alerts == nil || d.Alerts.Firing == 0 {
+		t.Errorf("bundle alerts section: %+v", d.Alerts)
+	}
+	for _, series := range []string{"ack_p99_ms", "heap_mb", "goroutines"} {
+		if len(d.Series(series)) == 0 {
+			t.Errorf("bundle missing %s series", series)
+		}
+	}
+	if !strings.Contains(string(d.Config), `"single-engine"`) {
+		t.Errorf("bundle config: %s", d.Config)
+	}
+}
+
+// TestBundleEndpoint: /debug/bundle is 501 until EnableBlackBox, then
+// serves a well-formed tar.gz without writing to the dump directory.
+func TestBundleEndpoint(t *testing.T) {
+	leakcheck.Check(t)
+	srv, _ := newObsServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("disabled bundle status %d, want 501", resp.StatusCode)
+	}
+
+	srv.EnableBlackBox(obs.BlackBoxConfig{Dir: t.TempDir(), Debounce: -1})
+	resp2, err := http.Get(ts.URL + "/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("bundle status %d", resp2.StatusCode)
+	}
+	if ct := resp2.Header.Get("Content-Type"); ct != "application/gzip" {
+		t.Errorf("content type %q", ct)
+	}
+	gz, err := gzip.NewReader(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	tr := tar.NewReader(gz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, hdr.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"MANIFEST.json", "runtime.json", "timeseries.json"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("tar missing %s: %v", want, names)
+		}
+	}
+}
+
+// TestPageFaultTraceExemplars: a faulting tiered read attaches its trace ID
+// to the page-fault latency histogram and records a "read" trace, so a fat
+// fault bucket resolves to a concrete read at /v1/traces.
+func TestPageFaultTraceExemplars(t *testing.T) {
+	leakcheck.Check(t)
+	ts, s, _ := newTieredServer(t)
+	s.SetTraceSampling(128, 1)
+
+	// The store's background worker (20ms tick) must write back the
+	// bootstrap generations and sweep the resident set down to the 8-page
+	// cap before any read can fault.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pageStats().Evictions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("store never evicted under an 8-page cap")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Sweep all nodes: most pages are cold now, so reads fault.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 200; i++ {
+			if _, _, ok := s.ReadEmbedding(i); !ok {
+				t.Fatalf("read %d failed", i)
+			}
+		}
+	}
+	if s.pageStats().Misses == 0 {
+		t.Fatal("no faults under an 8-page cap; the test premise broke")
+	}
+
+	var readTraces []*obs.ReqTrace
+	for _, tr := range s.FlightRecorder().Traces() {
+		if tr.Kind == "read" {
+			readTraces = append(readTraces, tr)
+		}
+	}
+	if len(readTraces) == 0 {
+		t.Fatal("no read-kind traces recorded for faulting reads")
+	}
+	ids := map[string]bool{}
+	for _, tr := range readTraces {
+		ids[obs.TraceIDString(tr.ID)] = true
+	}
+
+	// The histogram's exemplar must join a recorded read trace.
+	samples := scrape(t, ts.URL)
+	var exemplars int
+	for _, sm := range samples.Family("inkstream_page_fault_latency_seconds_bucket") {
+		if sm.Exemplar == nil {
+			continue
+		}
+		exemplars++
+		if !ids[sm.Exemplar.TraceID()] {
+			t.Errorf("fault exemplar %s joins no recorded read trace", sm.Exemplar.TraceID())
+		}
+	}
+	if exemplars == 0 {
+		t.Error("page-fault histogram carries no exemplars")
+	}
+}

@@ -103,6 +103,10 @@ func (s *Server) finish(r *updateReq, err error) {
 			if err != nil {
 				t.Err = err.Error()
 			}
+			// Annotate the trace with any GC stop-the-world pause that
+			// overlapped its submit→ack window — the exemplar in a fat
+			// ack-latency bucket then explains itself.
+			t.GCPause = s.runtime.GCPauseOverlap(r.start, r.start.Add(total))
 			f.Record(t)
 		}
 	}
@@ -141,6 +145,10 @@ func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
 // Sampler exposes the in-process time-series sampler; tests drive its Tick
 // deterministically instead of waiting out the 1s background cadence.
 func (s *Server) Sampler() *obs.Sampler { return s.sampler }
+
+// Runtime exposes the runtime telemetry collector (always non-nil); the
+// overhead benchmarks toggle it with SetEnabled.
+func (s *Server) Runtime() *obs.Runtime { return s.runtime }
 
 // TracesResponse is the body of GET /v1/traces.
 type TracesResponse struct {
@@ -232,4 +240,7 @@ func (s *Server) buildTimeseries() {
 		return float64(a - p)
 	})
 	ts.Gauge("drift_max_abs", s.lastDrift)
+	// Runtime telemetry series (heap_mb, goroutines, gc_cpu_pct,
+	// gc_pause_ms, sched_p99_ms); the first one runs the tick's Collect.
+	s.runtime.Install(ts)
 }

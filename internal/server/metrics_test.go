@@ -16,6 +16,7 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/inkstream"
+	"repro/internal/leakcheck"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -27,6 +28,7 @@ import (
 // logging before (re)mounting the handler.
 func newObsServer(t *testing.T) (*Server, *inkstream.Engine) {
 	t.Helper()
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(7))
 	g := dataset.GenerateRMAT(rng, 150, 600, dataset.DefaultRMAT)
 	feats := dataset.NewFeatures(rng, 150, 8)

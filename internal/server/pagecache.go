@@ -58,8 +58,11 @@ func (s *Server) EnablePageCache(stats func() obs.PageCacheStats, faultLat *obs.
 		"Total pages in the store.",
 		func() float64 { return float64(stats().TotalPages) })
 	if faultLat != nil {
+		// Faulting reads attach trace-ID exemplars (see readTieredRow), so a
+		// fat bucket links back to its /v1/traces entry like ack/apply do.
+		faultLat.EnableExemplars()
 		r.Histogram("inkstream_page_fault_latency_seconds",
-			"Latency of faulting one page back from the spill file (slot read, verify, decode-ready).",
+			"Latency of faulting one page back from the spill file (slot read, verify, decode-ready); buckets carry trace-ID exemplars resolvable at /v1/traces.",
 			1e-9, faultLat)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gnn"
 	"repro/internal/inkstream"
+	"repro/internal/leakcheck"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -21,6 +22,7 @@ import (
 // exercise eviction and faulting.
 func newTieredServer(t *testing.T) (*httptest.Server, *Server, *persist.TieredStore) {
 	t.Helper()
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(7))
 	g := dataset.GenerateRMAT(rng, 200, 800, dataset.DefaultRMAT)
 	feats := dataset.NewFeatures(rng, 200, 8)

@@ -103,12 +103,56 @@ func (s *Server) ReadEmbedding(node int) (row tensor.Vector, epoch uint64, ok bo
 	if node < 0 || node >= snap.NumNodes() {
 		return nil, snap.Epoch, false
 	}
-	if row = snap.Row(node); row == nil {
+	if s.pageStats != nil && s.flight != nil {
+		row = s.readTieredRow(snap, node)
+	} else {
+		row = snap.Row(node)
+	}
+	if row == nil {
 		// Tiered mode only: the row could not be faulted back in (e.g. the
 		// spill file is gone). Treated as unavailable, never served torn.
 		return nil, snap.Epoch, false
 	}
 	return row, snap.Epoch, true
+}
+
+// readTieredRow reads one row from a tiered snapshot under the flight
+// recorder: a read whose page faulted in from the spill file gets a trace
+// ID, an exemplar in the page-fault latency histogram, and (when sampled or
+// slow) a "read"-kind entry in /v1/traces — so a fat fault bucket resolves
+// to a concrete read the same way ack latency resolves to an update.
+// Attribution is by miss-count delta around the row fetch, so under
+// concurrent faulting reads a trace may adopt a neighbour's fault; the
+// linkage is a debugging breadcrumb, not an accounting invariant.
+func (s *Server) readTieredRow(snap *inkstream.Snapshot, node int) tensor.Vector {
+	f := s.flight
+	missesBefore := s.pageStats().Misses
+	t0 := time.Now()
+	row := snap.Row(node)
+	if s.pageStats().Misses == missesBefore {
+		return row // served resident: stay off the trace machinery
+	}
+	d := time.Since(t0)
+	id := f.NextID()
+	s.pageFaultLat.Exemplar(d.Nanoseconds(), id)
+	sampled, slow := f.SampledID(id), f.IsSlow(d)
+	if sampled || slow || row == nil {
+		t := &obs.ReqTrace{
+			ID:      id,
+			Kind:    "read",
+			Start:   t0,
+			Total:   d,
+			Sampled: sampled,
+			Slow:    slow,
+		}
+		t.Marks[obs.StageAck] = d
+		if row == nil {
+			t.Err = "tiered row unavailable (page fault failed)"
+		}
+		t.GCPause = s.runtime.GCPauseOverlap(t0, t0.Add(d))
+		f.Record(t)
+	}
+	return row
 }
 
 // Snapshot returns the currently published embedding snapshot. Safe from
@@ -128,6 +172,9 @@ func (s *Server) Close() {
 		if s.sampler != nil {
 			s.sampler.Stop()
 		}
+		// Drain queued incident captures before exit, so an alert or audit
+		// failure immediately followed by shutdown still leaves its bundle.
+		s.blackbox.Close()
 	})
 	s.wg.Wait()
 }

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkPipelineRuntimeSampler measures the runtime telemetry tax on the
+// full submit→ack pipeline: each iteration applies a batch and ticks the
+// sampler (far denser than the production 1s cadence, so this bounds the
+// real overhead from above), with runtime/metrics collection disabled vs
+// the serving default. scripts/obs_overhead.sh gates the paired delta at
+// <5%.
+func BenchmarkPipelineRuntimeSampler(b *testing.B) {
+	const n = 2048
+	for _, cfg := range []struct {
+		name    string
+		collect bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, eng := newPipelineServer(b, 23, n, 4*n)
+			s.Runtime().SetEnabled(cfg.collect)
+			g := eng.Graph()
+			rng := rand.New(rand.NewSource(24))
+			seen := map[[2]graph.NodeID]bool{}
+			var ins, del graph.Delta
+			for len(ins) < 16 {
+				u := graph.NodeID(rng.Intn(n))
+				v := graph.NodeID(rng.Intn(n))
+				if u == v || g.HasEdge(u, v) || seen[[2]graph.NodeID{u, v}] || seen[[2]graph.NodeID{v, u}] {
+					continue
+				}
+				seen[[2]graph.NodeID{u, v}] = true
+				ins = append(ins, graph.EdgeChange{U: u, V: v, Insert: true})
+				del = append(del, graph.EdgeChange{U: u, V: v, Insert: false})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := ins
+				if i%2 == 1 {
+					d = del
+				}
+				if err := s.Apply(d, nil); err != nil {
+					b.Fatal(err)
+				}
+				s.Sampler().Tick()
+			}
+		})
+	}
+}

@@ -102,6 +102,12 @@ type Server struct {
 	started time.Time
 	sloNS   atomic.Int64 // healthz ack-p99 SLO in ns (0 = disabled)
 
+	// Runtime telemetry plane and incident black box (blackbox.go); the
+	// runtime collector always exists, the black box only after
+	// EnableBlackBox.
+	runtime  *obs.Runtime
+	blackbox *obs.BlackBox
+
 	// Drift auditor (audit.go).
 	audit      *auditState
 	driftHists []obs.LabeledHistogram
@@ -167,6 +173,7 @@ func New(engine *inkstream.Engine, counters *metrics.Counters) *Server {
 	// installed by SetHealthSLO).
 	s.sampler = obs.NewSampler(time.Second, 600)
 	s.alerts = obs.NewAlertEngine(s.sampler)
+	s.runtime = obs.NewRuntime()
 	s.reg = obs.NewRegistry()
 	s.buildRegistry()
 	// Epoch 1 reflects the bootstrapped state, so readers always have a
@@ -350,6 +357,7 @@ func (s *Server) buildRegistry() {
 		"Per-audit max abs drift, labeled by the model's aggregator kind (accumulative kinds drift; monotonic kinds should sit in the lowest bucket).",
 		1e-9, s.driftHists)
 	s.alerts.Register(r)
+	s.runtime.Register(r)
 }
 
 // SetCoalescing switches server-side update coalescing (coalesce.go) on or
@@ -443,6 +451,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/verify", s.handleVerify)
 	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /debug/bundle", s.handleBundle)
 	// Unknown /v1/* paths get a typed JSON 404 instead of the mux's plain
 	// text (known paths with the wrong method also land here; the body
 	// names the path so either mistake is diagnosable).

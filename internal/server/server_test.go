@@ -13,12 +13,14 @@ import (
 	"repro/internal/gnn"
 	"repro/internal/graph"
 	"repro/internal/inkstream"
+	"repro/internal/leakcheck"
 	"repro/internal/metrics"
 	"repro/internal/scheduler"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *inkstream.Engine) {
 	t.Helper()
+	leakcheck.Check(t)
 	rng := rand.New(rand.NewSource(1))
 	g := dataset.GenerateRMAT(rng, 200, 800, dataset.DefaultRMAT)
 	feats := dataset.NewFeatures(rng, 200, 8)

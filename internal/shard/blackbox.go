@@ -1,0 +1,65 @@
+package shard
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Incident black box wiring for the sharded deployment (DESIGN.md §15).
+// The router has one incident signal the single-engine server does not —
+// the fail-stop latch tripped by a failed round — so automatic captures
+// arm on fail-stop and on alert pending→firing, and each bundle carries a
+// failstop.json with the failing round's forensics.
+
+// EnableBlackBox arms the incident black box: cfg.Dir names the dump
+// directory; cfg.Source is filled in by the router (any caller-provided
+// Config payload is kept). Automatic captures trigger on a round fail-stop
+// and on alert pending→firing, debounced per cfg. Call before serving;
+// captured bundles are read back with obs.LoadDump or inkstat -postmortem.
+func (rt *Router) EnableBlackBox(cfg obs.BlackBoxConfig) *obs.BlackBox {
+	cfg.Source.Flight = rt.flight
+	cfg.Source.Rounds = rt.profiler
+	cfg.Source.Sampler = rt.sampler
+	cfg.Source.Alerts = rt.alerts
+	cfg.Source.Runtime = rt.runtime
+	if cfg.Source.Config == nil {
+		info := server.BlackBoxInfo{
+			Deployment: "sharded",
+			Shards:     len(rt.shards),
+			SLOMS:      float64(rt.sloNS.Load()) / 1e6,
+			Coalescing: true, // rounds always fuse queued requests
+		}
+		if rt.flight != nil {
+			info.SampleEvery = rt.flight.SampleEvery()
+		}
+		cfg.Source.Config = info
+	}
+	bb := obs.NewBlackBox(cfg)
+	rt.blackbox = bb
+	bb.Register(rt.reg)
+	bb.AddFile("failstop.json", func() any {
+		if fs := rt.failStop.Load(); fs != nil {
+			return fs
+		}
+		return nil
+	})
+	rt.alerts.OnFiring(func(name, reason string) {
+		bb.Trigger("alert-"+name, reason)
+	})
+	return bb
+}
+
+// BlackBox exposes the black box (nil until EnableBlackBox).
+func (rt *Router) BlackBox() *obs.BlackBox { return rt.blackbox }
+
+// handleBundle serves GET /debug/bundle: an on-demand tar.gz capture of the
+// full observability state, including the fail-stop record when present.
+func (rt *Router) handleBundle(w http.ResponseWriter, r *http.Request) {
+	if rt.blackbox == nil {
+		httpError(w, http.StatusNotImplemented, "black box not enabled")
+		return
+	}
+	rt.blackbox.ServeHTTP(w, r)
+}

@@ -55,6 +55,7 @@ func (rt *Router) finish(req *request, err error, fused int) {
 			if err != nil {
 				t.Err = err.Error()
 			}
+			t.GCPause = rt.runtime.GCPauseOverlap(req.start, req.start.Add(total))
 			f.Record(t)
 		}
 	}
@@ -182,6 +183,9 @@ func (rt *Router) Sampler() *obs.Sampler { return rt.sampler }
 // Alerts exposes the burn-rate alert engine.
 func (rt *Router) Alerts() *obs.AlertEngine { return rt.alerts }
 
+// Runtime exposes the Go runtime telemetry collector.
+func (rt *Router) Runtime() *obs.Runtime { return rt.runtime }
+
 // buildTimeseries registers the router's serving series. Every source reads
 // atomics or published snapshots, so a tick never blocks the pipeline.
 func (rt *Router) buildTimeseries() {
@@ -202,6 +206,9 @@ func (rt *Router) buildTimeseries() {
 		return float64(a - p)
 	})
 	ts.Gauge("barrier_share", rt.lastShare)
+	// Runtime series (heap_mb, goroutines, gc_cpu_pct, gc_pause_ms,
+	// sched_p99_ms); the first one runs the tick's runtime/metrics read.
+	rt.runtime.Install(ts)
 }
 
 // RoundsResponse is the body of GET /v1/rounds.

@@ -32,6 +32,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rounds", rt.handleRounds)
 	mux.Handle("GET /v1/alerts", rt.alerts)
 	mux.Handle("GET /metrics", rt.reg.Handler())
+	mux.HandleFunc("GET /debug/bundle", rt.handleBundle)
 	// Unknown /v1/* paths get a typed JSON 404 instead of the mux's plain
 	// text (known paths with the wrong method also land here; the body
 	// names the path so either mistake is diagnosable).
@@ -147,7 +148,13 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	var reasons []string
 	if rt.corrupt.Load() {
-		reasons = append(reasons, "writes fail-stopped after a failed round; reads serve the last published snapshots")
+		if fs := rt.failStop.Load(); fs != nil {
+			reasons = append(reasons, fmt.Sprintf(
+				"writes fail-stopped at round %d (%s); reads serve the last published snapshots",
+				fs.Round, fs.Err))
+		} else {
+			reasons = append(reasons, "writes fail-stopped after a failed round; reads serve the last published snapshots")
+		}
 	}
 	if rt.sampler != nil {
 		// Max over the last ~10 ticks so one quiet second cannot mask a

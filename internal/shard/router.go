@@ -173,6 +173,9 @@ type Router struct {
 	processed atomic.Uint64
 	edges     atomic.Int64 // logical edge count of the served graph
 	corrupt   atomic.Bool
+	// failStop holds the forensics of the round that tripped the corrupt
+	// latch (nil while healthy): round ID, error, time. First failure wins.
+	failStop atomic.Pointer[obs.FailStopInfo]
 
 	boundaryRecs  atomic.Int64 // message-change records delivered to remote shards
 	boundaryBytes atomic.Int64 // payload bytes those deliveries carried
@@ -194,6 +197,12 @@ type Router struct {
 	sampler  *obs.Sampler
 	alerts   *obs.AlertEngine
 	sloNS    atomic.Int64 // healthz ack-p99 SLO in ns (0 = disabled)
+
+	// Runtime telemetry plane and incident black box (blackbox.go); the
+	// runtime collector always exists, the black box only after
+	// EnableBlackBox.
+	runtime  *obs.Runtime
+	blackbox *obs.BlackBox
 
 	// Cumulative critical-path attribution, accumulated per profiled
 	// round (flight.go): compute/barrier are per-shard means so
@@ -317,6 +326,7 @@ func New(model *gnn.Model, g *graph.Graph, x *tensor.Matrix, cfg Config) (*Route
 	// window, evaluated per tick (flight.go).
 	rt.sampler = obs.NewSampler(time.Second, 600)
 	rt.alerts = obs.NewAlertEngine(rt.sampler)
+	rt.runtime = obs.NewRuntime()
 	rt.buildTimeseries()
 	rt.sampler.Start()
 	rt.reg = obs.NewRegistry()
@@ -355,6 +365,21 @@ func (rt *Router) Registry() *obs.Registry { return rt.reg }
 // Corrupt reports whether a failed round has fail-stopped writes.
 func (rt *Router) Corrupt() bool { return rt.corrupt.Load() }
 
+// FailStop returns the forensics of the round that fail-stopped writes, or
+// nil while the deployment is healthy. The record is immutable once set.
+func (rt *Router) FailStop() *obs.FailStopInfo { return rt.failStop.Load() }
+
+// failStopNow trips the corrupt latch and records which round failed and
+// why, then (when the black box is armed) triggers an automatic incident
+// capture. First failure wins: a second trip keeps the original record.
+func (rt *Router) failStopNow(roundID uint64, err error) {
+	info := &obs.FailStopInfo{Round: roundID, Err: err.Error(), Time: time.Now()}
+	if rt.failStop.CompareAndSwap(nil, info) {
+		rt.blackbox.Trigger("fail-stop", info.Err)
+	}
+	rt.corrupt.Store(true)
+}
+
 // Close stops the pipeline (failing queued requests with ErrRouterClosed)
 // and closes the shard WALs.
 func (rt *Router) Close() error {
@@ -368,6 +393,9 @@ func (rt *Router) Close() error {
 	if rt.sampler != nil {
 		rt.sampler.Stop()
 	}
+	// Drain queued incident captures (e.g. a fail-stop racing shutdown)
+	// before the WALs close, so the bundle still lands on disk.
+	rt.blackbox.Close()
 	var errs []error
 	for _, s := range rt.shards {
 		if s.wal != nil {
@@ -684,9 +712,10 @@ func (rt *Router) sealRound(open *openRound) {
 		if err := req.delta.Apply(rt.replica); err != nil {
 			// Validation guarantees this cannot happen; if it does the
 			// replica and shards are out of sync — fail-stop.
-			rt.corrupt.Store(true)
+			ferr := fmt.Errorf("shard: replica apply: %w", err)
+			rt.failStopNow(id, ferr)
 			for _, q := range r.reqs {
-				rt.finish(q, fmt.Errorf("shard: replica apply: %w", err), len(r.reqs))
+				rt.finish(q, ferr, len(r.reqs))
 			}
 			return
 		}
@@ -740,8 +769,12 @@ func (rt *Router) applyLoop() {
 	for r := range rt.roundCh {
 		err := rt.executeRound(r)
 		if err != nil {
-			rt.corrupt.Store(true)
 			err = fmt.Errorf("shard: round apply failed, writes fail-stopped: %w", err)
+			var id uint64
+			if len(r.reqs) > 0 {
+				id = r.reqs[0].round
+			}
+			rt.failStopNow(id, err)
 		} else {
 			rt.rounds.Add(1)
 			rt.coSize.Observe(int64(len(r.reqs)))

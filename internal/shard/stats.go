@@ -55,13 +55,16 @@ type StatsResponse struct {
 	// remote deliveries the subscription filter suppressed (0 under full
 	// broadcast), GhostRows the ghost message rows engines adopted from the
 	// delivered records.
-	CutFraction     float64                 `json:"cut_fraction"`
-	BoundaryRecords int64                   `json:"boundary_records"`
-	BoundaryBytes   int64                   `json:"boundary_bytes"`
-	FilteredRecords int64                   `json:"filtered_records"`
-	GhostRows       int64                   `json:"ghost_rows"`
-	Corrupt         bool                    `json:"corrupt,omitempty"`
-	AckLatency      server.LatencyQuantiles `json:"ack_latency"`
+	CutFraction     float64 `json:"cut_fraction"`
+	BoundaryRecords int64   `json:"boundary_records"`
+	BoundaryBytes   int64   `json:"boundary_bytes"`
+	FilteredRecords int64   `json:"filtered_records"`
+	GhostRows       int64   `json:"ghost_rows"`
+	Corrupt         bool    `json:"corrupt,omitempty"`
+	// FailStop carries the forensics of the round that tripped the corrupt
+	// latch — round ID, error, time — present only after a fail-stop.
+	FailStop   *obs.FailStopInfo       `json:"fail_stop,omitempty"`
+	AckLatency server.LatencyQuantiles `json:"ack_latency"`
 	// RoundProfile summarises the round profiler's critical-path
 	// attribution (nil with profiling off or before the first round).
 	RoundProfile *RoundProfileStats `json:"round_profile,omitempty"`
@@ -114,6 +117,7 @@ func (rt *Router) Stats() StatsResponse {
 		FilteredRecords:   rt.filteredRecs.Load(),
 		GhostRows:         rt.ghostRows.Load(),
 		Corrupt:           rt.corrupt.Load(),
+		FailStop:          rt.failStop.Load(),
 	}
 	if p, a := rt.processed.Load(), rt.accepted.Load(); a > p {
 		resp.SnapshotLag = a - p
@@ -372,6 +376,7 @@ func (rt *Router) buildRegistry() {
 			return float64(rt.flight.Recorded())
 		})
 	rt.alerts.Register(r)
+	rt.runtime.Register(r)
 }
 
 func shardLabel(i int) string { return fmt.Sprintf(`shard="%d"`, i) }

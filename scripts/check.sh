@@ -16,7 +16,7 @@ go build ./...
 go test ./...
 go test -race ./internal/tensor ./internal/gnn ./internal/inkstream \
     ./internal/obs ./internal/server ./internal/scheduler ./internal/persist \
-    ./internal/shard
+    ./internal/shard ./internal/leakcheck
 
 # The PR4 hot paths deserve fresh (uncached) race runs: the sharded
 # grouper under repeated multi-batch churn and server-side coalescing
@@ -50,6 +50,13 @@ go test -race -count=1 -run 'TestTiered|TestSetRowStore|TestPageCache' \
 go test -race -count=1 \
     -run 'TestRouterRoundProfiler|TestRouterObservabilityEndpoints|TestRouterSLOBurnRate|TestAlertEngine|TestServerSLOAlerts' \
     ./internal/shard ./internal/obs ./internal/server
+
+# The PR10 black box captures bundles from a worker goroutine while the
+# pipeline keeps mutating every source it serializes, and the fail-stop
+# latch races the round goroutines against HTTP readers; both get fresh
+# race runs, as does the runtime collector under concurrent scrapes.
+go test -race -count=1 -run 'TestBlackBox|TestFailStop|TestBundle|TestRouterBundle|TestRuntime|TestPageFaultTraceExemplars' \
+    ./internal/obs ./internal/server ./internal/shard
 
 # Observability must stay essentially free on the engine hot path and the
 # full pipeline. The gate runs paired benchmarks and is sensitive to box

@@ -9,6 +9,9 @@
 #   3. BenchmarkRouterRoundProfiler (internal/shard) — the sharded
 #      submit→ack pipeline with the round profiler + flight recorder at
 #      their serving defaults vs both disabled.
+#   4. BenchmarkPipelineRuntimeSampler (internal/server) — the pipeline
+#      with a sampler tick per batch (far denser than the production 1s
+#      cadence) with runtime/metrics collection on vs off.
 #
 # All must stay within OVERHEAD_MAX_PCT (default 5%) of their
 # uninstrumented path. Single benchmark runs drift ±25% on a loaded box —
@@ -58,4 +61,5 @@ gate() {
 gate ./internal/inkstream BenchmarkApplyObservability
 gate ./internal/server BenchmarkPipelineFlightRecorder
 gate ./internal/shard BenchmarkRouterRoundProfiler
+gate ./internal/server BenchmarkPipelineRuntimeSampler
 echo "obs_overhead.sh: within budget"
